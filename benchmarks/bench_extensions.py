@@ -1,0 +1,58 @@
+"""Benchmarks for the beyond-the-paper extensions.
+
+* k-VCC hierarchy construction vs per-k flat enumeration;
+* the nesting-aware k sweep vs independent runs;
+* the linear-time Tarjan fast path for k = 2 vs the flow machinery;
+* community recovery scoring (the quantitative free-rider experiment).
+"""
+
+import pytest
+
+from repro.core.hierarchy import build_hierarchy
+from repro.core.ksweep import enumerate_kvccs_sweep
+from repro.core.kvcc import kvcc_vertex_sets
+from repro.datasets.registry import scaled_k_values
+from repro.experiments.recovery import format_recovery, run_recovery
+from repro.graph.biconnected import two_vccs
+from conftest import one_shot
+
+
+def bench_extension_hierarchy(benchmark, datasets):
+    graph = datasets["dblp"]
+    hierarchy = one_shot(benchmark, build_hierarchy, graph, 8)
+    print(f"\n[hierarchy] {len(hierarchy)} nodes, max level {hierarchy.max_k}")
+    assert hierarchy.max_k >= 2
+
+
+def bench_extension_ksweep(benchmark, datasets):
+    graph = datasets["dblp"]
+    ks = scaled_k_values(graph, 4)
+    sweep = one_shot(benchmark, enumerate_kvccs_sweep, graph, ks)
+    print(f"\n[ksweep] counts: { {k: len(v) for k, v in sweep.items()} }")
+    # Spot-check the reuse path against a flat run at the largest k.
+    flat = kvcc_vertex_sets(graph, ks[-1])
+    assert {frozenset(s) for s in sweep[ks[-1]]} == {
+        frozenset(s) for s in flat
+    }
+
+
+@pytest.mark.parametrize("engine", ["tarjan", "flow"])
+def bench_extension_k2_fast_path(benchmark, datasets, engine):
+    graph = datasets["nd"]
+    if engine == "tarjan":
+        result = benchmark(two_vccs, graph)
+    else:
+        result = one_shot(benchmark, kvcc_vertex_sets, graph, 2)
+    print(f"\n[k2/{engine}] {len(result)} components")
+    assert result
+
+
+def bench_extension_recovery(benchmark):
+    rows = one_shot(benchmark, run_recovery, 6, (2, 8))
+    print("\n" + format_recovery(rows))
+    by_level = {}
+    for r in rows:
+        by_level.setdefault(r.broker_degree, {})[r.model] = r
+    for level, models in by_level.items():
+        assert models["k-VCC"].f1 >= models["k-ECC"].f1
+        assert models["k-VCC"].f1 >= models["k-CC"].f1

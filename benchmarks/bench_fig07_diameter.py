@@ -1,0 +1,35 @@
+"""Figure 7: average diameter of k-CC vs k-ECC vs k-VCC.
+
+Paper shape: for every dataset and k, k-VCCs have the smallest average
+diameter of the three models.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.effectiveness import (
+    format_effectiveness,
+    run_effectiveness,
+)
+from conftest import one_shot
+
+DATASETS = ("youtube", "dblp", "google", "cnr")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def bench_fig07_diameter(benchmark, dataset):
+    rows = one_shot(
+        benchmark, run_effectiveness, datasets=(dataset,), k_count=2
+    )
+    print("\n" + format_effectiveness(rows, "diameter"))
+    by_key = {}
+    for r in rows:
+        by_key.setdefault((r.dataset, r.k), {})[r.model] = r
+    for key, models in by_key.items():
+        if len(models) != 3 or any(
+            math.isnan(m.diameter) for m in models.values()
+        ):
+            continue
+        assert models["k-VCC"].diameter <= models["k-CC"].diameter + 1e-9, key
+        assert models["k-VCC"].diameter <= models["k-ECC"].diameter + 1e-9, key

@@ -1,0 +1,38 @@
+"""Figure 8: average edge density of k-CC vs k-ECC vs k-VCC.
+
+Paper shape: k-VCC >= k-ECC >= k-CC at every (dataset, k).  Density is
+monotone under the model-nesting of Theorem 3 restricted to the same
+vertex count regime, and unlike diameter it cannot degrade when a
+component splits into denser parts, so the ordering is asserted strictly.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.effectiveness import (
+    format_effectiveness,
+    run_effectiveness,
+)
+from conftest import one_shot
+
+DATASETS = ("youtube", "dblp", "google", "cnr")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def bench_fig08_edge_density(benchmark, dataset):
+    rows = one_shot(
+        benchmark, run_effectiveness, datasets=(dataset,), k_count=2
+    )
+    print("\n" + format_effectiveness(rows, "edge_density"))
+    by_key = {}
+    for r in rows:
+        by_key.setdefault((r.dataset, r.k), {})[r.model] = r
+    for key, models in by_key.items():
+        if len(models) != 3 or any(
+            math.isnan(m.edge_density) for m in models.values()
+        ):
+            continue
+        vcc, ecc, cc = models["k-VCC"], models["k-ECC"], models["k-CC"]
+        assert vcc.edge_density >= ecc.edge_density - 1e-9, key
+        assert ecc.edge_density >= cc.edge_density - 1e-9, key

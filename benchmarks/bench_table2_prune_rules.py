@@ -1,0 +1,27 @@
+"""Table 2: proportion of phase-1 vertices pruned per sweep rule.
+
+Paper shape: the large majority of phase-1 vertices is pruned (the
+paper reports > 90% on DBLP/Cit/Cnr and >= ~45% everywhere); NS 2 is
+"powerful and stable" across datasets; the NS 1 / GS split is
+dataset-dependent.
+"""
+
+from repro.experiments.prune_rules import (
+    format_prune_rules,
+    run_prune_rules,
+)
+from conftest import one_shot
+
+DATASETS = ("stanford", "dblp", "nd", "google", "cit", "cnr")
+
+
+def bench_table2_prune_rules(benchmark):
+    rows = one_shot(
+        benchmark, run_prune_rules, datasets=DATASETS, k_count=3
+    )
+    print("\n" + format_prune_rules(rows))
+    for r in rows:
+        total = r.ns1 + r.ns2 + r.gs + r.non_pruned
+        assert abs(total - 1.0) < 1e-9
+        # The sweeps must prune a solid majority on every stand-in.
+        assert r.non_pruned < 0.55, (r.dataset, r.non_pruned)

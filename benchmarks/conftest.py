@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md).  Heavy enumeration runs use
+``benchmark.pedantic(rounds=1)``: the quantities of interest are
+relative orderings between variants and trends across k, which one round
+captures, and the pure-Python flow engine makes multi-round statistics
+expensive.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the paper-shaped tables each module prints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import load_dataset, scaled_k_values
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All seven stand-ins, built once per benchmark session."""
+    names = ("stanford", "dblp", "cnr", "nd", "google", "youtube", "cit")
+    return {name: load_dataset(name) for name in names}
+
+
+@pytest.fixture(scope="session")
+def mid_k(datasets):
+    """A mid-sweep k per dataset (the paper's k = 30 analog)."""
+    return {
+        name: scaled_k_values(graph, 3)[1]
+        for name, graph in datasets.items()
+    }
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

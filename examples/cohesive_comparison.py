@@ -1,0 +1,61 @@
+"""Quality comparison of cohesive-subgraph models on a web-style graph.
+
+Miniature of the paper's effectiveness study (Figures 7-9): generate a
+modular web graph, sweep k, and compare k-core components, k-ECCs and
+k-VCCs on diameter, edge density and clustering coefficient.  The k-VCC
+column dominates on every metric - smaller diameters, higher density,
+higher clustering - because vertex connectivity is the strictest of the
+three cohesion notions (Theorem 3).
+
+Run: ``python examples/cohesive_comparison.py``
+"""
+
+from repro.baselines import k_core_components, k_ecc_components
+from repro.core.kvcc import kvcc_vertex_sets
+from repro.experiments.tables import render_table
+from repro.graph.generators import modular_graph
+from repro.graph.metrics import average_metric_over_subgraphs
+
+
+def main() -> None:
+    graph = modular_graph(
+        6, 120, inner="web", out_degree=7, cross_edges_per_community=3,
+        seed=42,
+    )
+    print(f"modular web graph: {graph}\n")
+
+    rows = []
+    for k in (4, 5, 6):
+        models = {
+            "k-CC": k_core_components(graph, k),
+            "k-ECC": k_ecc_components(graph, k),
+            "k-VCC": kvcc_vertex_sets(graph, k),
+        }
+        for name, comps in models.items():
+            rows.append(
+                (
+                    k,
+                    name,
+                    len(comps),
+                    average_metric_over_subgraphs(graph, comps, "diameter"),
+                    average_metric_over_subgraphs(graph, comps, "edge_density"),
+                    average_metric_over_subgraphs(
+                        graph, comps, "clustering_coefficient"
+                    ),
+                )
+            )
+    print(
+        render_table(
+            ["k", "model", "#components", "avg diameter", "avg density",
+             "avg clustering"],
+            rows,
+        )
+    )
+    print(
+        "\nreading guide: for each k, k-VCC should have the smallest "
+        "diameter and the largest density/clustering (Figures 7-9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Anatomy of the sweep optimizations (Sections 5.1-5.2).
+
+Runs the four algorithm variants on the same graph and dissects *why*
+VCCE* is fast: the RunStats counters show how many local connectivity
+tests (max-flow runs) each variant performed and which sweep rule
+claimed each phase-1 vertex - a per-graph version of the paper's
+Table 2.
+
+Run: ``python examples/pruning_anatomy.py``
+"""
+
+import time
+
+from repro import RunStats, VARIANTS, enumerate_kvccs
+from repro.experiments.tables import render_table
+from repro.graph.generators import modular_graph
+
+
+def main() -> None:
+    graph = modular_graph(
+        8, 150, inner="web", out_degree=6, cross_edges_per_community=3,
+        seed=7,
+    )
+    k = 5
+    print(f"graph: {graph}, k = {k}\n")
+
+    rows = []
+    reference = None
+    for name, options in VARIANTS.items():
+        stats = RunStats(k=k)
+        start = time.perf_counter()
+        result = enumerate_kvccs(graph, k, options, stats)
+        elapsed = time.perf_counter() - start
+        vertex_sets = {frozenset(sub.vertices()) for sub in result}
+        if reference is None:
+            reference = vertex_sets
+        assert vertex_sets == reference, "variants must agree"
+        props = stats.prune_proportions()
+        rows.append(
+            (
+                name,
+                f"{elapsed:.2f}s",
+                len(result),
+                stats.flow_tests,
+                f"{100 * props['ns1']:.0f}%",
+                f"{100 * props['ns2']:.0f}%",
+                f"{100 * props['gs']:.0f}%",
+                f"{100 * props['non_pruned']:.0f}%",
+            )
+        )
+    print(
+        render_table(
+            ["variant", "time", "#k-VCCs", "flow tests", "NS1", "NS2",
+             "GS", "non-pruned"],
+            rows,
+        )
+    )
+    print(
+        "\nall four variants return identical k-VCCs; the sweep rules "
+        "only remove redundant local-connectivity tests."
+    )
+
+
+if __name__ == "__main__":
+    main()

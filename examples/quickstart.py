@@ -1,0 +1,52 @@
+"""Quickstart: enumerate k-VCCs of the paper's Figure 1 graph.
+
+Builds the motivating example from the paper's introduction - four dense
+blocks glued together by a shared edge, a shared vertex, and two bridge
+edges - and shows how the three cohesive-subgraph models differ:
+
+* the 4-core lumps everything into one component (worst free-rider);
+* the 4-ECC separates only the bridge-connected block;
+* the 4-VCCs recover all four blocks, with the shared vertices
+  appearing in two components at once.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import enumerate_kvccs
+from repro.baselines import k_core_components, k_ecc_components
+from repro.graph.generators import figure1_graph
+
+
+def main() -> None:
+    graph, blocks = figure1_graph()
+    k = 4
+    print(f"Figure 1 graph: {graph}")
+    print(f"ground-truth blocks: { {n: sorted(b) for n, b in blocks.items()} }\n")
+
+    cores = k_core_components(graph, k)
+    print(f"{k}-core components ({len(cores)}):")
+    for comp in cores:
+        print(f"  {sorted(comp)}")
+
+    eccs = k_ecc_components(graph, k)
+    print(f"\n{k}-ECCs ({len(eccs)}):")
+    for comp in eccs:
+        print(f"  {sorted(comp)}")
+
+    vccs = enumerate_kvccs(graph, k)
+    print(f"\n{k}-VCCs ({len(vccs)}):")
+    for sub in vccs:
+        print(f"  {sorted(sub.vertices())}")
+
+    # Overlap: vertices a=4, b=5 belong to two 4-VCCs (Property 1 bounds
+    # any pairwise overlap below k).
+    seen = {}
+    for sub in vccs:
+        for v in sub.vertices():
+            seen[v] = seen.get(v, 0) + 1
+    shared = sorted(v for v, c in seen.items() if c > 1)
+    print(f"\nvertices in more than one {k}-VCC: {shared}")
+
+
+if __name__ == "__main__":
+    main()

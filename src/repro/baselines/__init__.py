@@ -1,0 +1,22 @@
+"""Baselines the paper compares against, plus correctness oracles.
+
+* :func:`k_core_components` - the "k-CC" series of Figures 7-9:
+  connected components of the k-core.
+* :func:`k_ecc_components` - k-edge connected components, computed by
+  recursive splitting along any edge cut smaller than k (found with an
+  early-exit Stoer-Wagner).
+* :mod:`repro.baselines.naive` - brute-force k-VCC enumeration used by
+  the tests to validate the optimized algorithms on small graphs.
+"""
+
+from repro.baselines.kcore_cc import k_core_components
+from repro.baselines.kecc import k_ecc_components
+from repro.baselines.stoer_wagner import global_min_edge_cut
+from repro.baselines.naive import naive_kvccs
+
+__all__ = [
+    "k_core_components",
+    "k_ecc_components",
+    "global_min_edge_cut",
+    "naive_kvccs",
+]

@@ -1,0 +1,27 @@
+"""k-core components: the "k-CC" baseline of the effectiveness study.
+
+Figures 7-9 compare three models at the same k; the weakest is the
+connected components of the k-core (every vertex has >= k neighbors
+inside).  The free-rider effect is strongest here: the whole of Figure 1
+collapses into one 4-core component.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.graph.connectivity import connected_components
+from repro.graph.core_decomposition import k_core
+from repro.graph.graph import Graph, Vertex
+
+
+def k_core_components(graph: Graph, k: int) -> List[Set[Vertex]]:
+    """Connected components of the k-core, as vertex sets.
+
+    Components with ``k`` or fewer vertices are kept (they are legitimate
+    k-cores for this baseline - unlike k-VCCs, the model imposes no
+    minimum size beyond what the degree constraint forces: a k-core
+    component always has at least ``k + 1`` vertices anyway).
+    """
+    core = k_core(graph, k)
+    return connected_components(core)

@@ -1,0 +1,77 @@
+"""Brute-force k-VCC enumeration (correctness oracle for small graphs).
+
+Shares only the *framework* with the production path (recursive
+overlapped partition, whose correctness is Lemmas 1-3 / Theorem 4); the
+cut search itself is an exhaustive scan over all vertex subsets of size
+``< k`` - no flow, no certificate, no sweeps.  Exponential in ``k``,
+usable for the test suite's cross-validation on graphs of a few dozen
+vertices.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Set
+
+from repro.core.partition import overlap_partition
+from repro.graph.connectivity import (
+    components_after_removal,
+    connected_components,
+)
+from repro.graph.core_decomposition import peel_in_place
+from repro.graph.graph import Graph, Vertex
+
+
+def brute_force_cut(graph: Graph, k: int) -> Optional[Set[Vertex]]:
+    """Any vertex cut of size < k found by exhaustive subset search.
+
+    Subsets are scanned in increasing size, so the returned cut is in
+    fact a *minimum* cut when one below ``k`` exists.
+    """
+    vertices = sorted(graph.vertices())
+    n = len(vertices)
+    for size in range(0, min(k, n - 1)):
+        for subset in combinations(vertices, size):
+            if len(components_after_removal(graph, subset)) >= 2:
+                return set(subset)
+    return None
+
+
+def naive_is_k_connected(graph: Graph, k: int) -> bool:
+    """Definition 2 by brute force."""
+    if graph.num_vertices <= k:
+        return False
+    if len(connected_components(graph)) != 1:
+        return False
+    return brute_force_cut(graph, k) is None
+
+
+def naive_kvccs(graph: Graph, k: int) -> List[Set[Vertex]]:
+    """All k-VCCs as vertex sets, via brute-force cut search.
+
+    Only intended for small inputs; the asymptotics are O(n^k) per cut
+    search.
+    """
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    work = graph.copy()
+    peel_in_place(work, k)
+
+    stack: List[Graph] = []
+    for comp in connected_components(work):
+        if len(comp) > k:
+            stack.append(work.induced_subgraph(comp))
+
+    result: List[Set[Vertex]] = []
+    while stack:
+        sub = stack.pop()
+        cut = brute_force_cut(sub, k)
+        if cut is None:
+            result.append(sub.vertex_set())
+            continue
+        for part in overlap_partition(sub, cut):
+            peel_in_place(part, k)
+            for comp in connected_components(part):
+                if len(comp) > k:
+                    stack.append(part.induced_subgraph(comp))
+    return result

@@ -1,0 +1,94 @@
+"""Scan-first search (Section 4.2).
+
+A scan-first search of a graph starts from a root, marks all its
+neighbors, and then repeatedly *scans* an arbitrary marked-but-unscanned
+vertex, marking all of that vertex's unvisited neighbors.  The edges
+through which vertices get marked form the *scan-first forest*.  Breadth
+first search is the special case where the marked-but-unscanned vertex is
+chosen FIFO - which is exactly what this implementation does, keeping the
+traversal deterministic.
+
+The forest edges matter (not just the tree structure): the sparse
+certificate is the union of the edge sets of k successive forests, each
+computed on the graph minus the previous forests' edges.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.graph.graph import Graph, Vertex
+
+ForestEdge = Tuple[Vertex, Vertex]
+
+
+def scan_first_forest(
+    graph: Graph,
+    forbidden: Iterable[frozenset] = (),
+) -> List[ForestEdge]:
+    """One scan-first search forest of ``graph`` minus ``forbidden`` edges.
+
+    Parameters
+    ----------
+    graph:
+        The (possibly disconnected) graph to search.
+    forbidden:
+        Edges (as ``frozenset({u, v})``) to treat as absent - the caller
+        passes the union of previously extracted forests, implementing
+        the ``G_{i-1} = (V, E - (E_1 ∪ ... ∪ E_{i-1}))`` sequence of
+        Theorem 5 without copying the graph.
+
+    Returns
+    -------
+    list of (parent, child) edges
+        One tree per connected component of the remaining graph; roots
+        follow the graph's vertex iteration order so the output is
+        deterministic.
+    """
+    forbidden_set: Set[frozenset] = set(forbidden)
+    forest: List[ForestEdge] = []
+    marked: Set[Vertex] = set()
+    for root in graph.vertices():
+        if root in marked:
+            continue
+        marked.add(root)
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()  # scan u: mark all unvisited neighbors
+            for v in graph.neighbors(u):
+                if v in marked or frozenset((u, v)) in forbidden_set:
+                    continue
+                marked.add(v)
+                forest.append((u, v))
+                queue.append(v)
+    return forest
+
+
+def forest_components(
+    vertices: Iterable[Vertex], forest: List[ForestEdge]
+) -> List[Set[Vertex]]:
+    """Connected components of a forest given as an edge list.
+
+    Union-find over the forest edges; isolated vertices become singleton
+    components.  Used to derive side-groups from ``F_k`` (Theorem 10).
+    """
+    parent: Dict[Vertex, Vertex] = {v: v for v in vertices}
+
+    def find(x: Vertex) -> Vertex:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    for u, v in forest:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+
+    groups: Dict[Vertex, Set[Vertex]] = {}
+    for v in parent:
+        groups.setdefault(find(v), set()).add(v)
+    return list(groups.values())

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``kvcc``
+    Enumerate the k-VCCs of an edge-list file and print (or save) them.
+``stats``
+    Print Table 1-style statistics for an edge-list file.
+``connectivity``
+    Vertex connectivity of a graph (or of a vertex pair with ``-u/-v``).
+``hierarchy``
+    The k-VCC hierarchy levels and per-vertex vcc-numbers.
+``experiments``
+    Run the paper's experiment harness (``--quick`` for a fast pass).
+
+Examples
+--------
+::
+
+    python -m repro kvcc graph.txt -k 4
+    python -m repro kvcc graph.txt -k 4 --variant VCCE --out result.json
+    python -m repro stats graph.txt
+    python -m repro connectivity graph.txt
+    python -m repro connectivity graph.txt -u 3 -v 17
+    python -m repro hierarchy graph.txt --max-k 6
+    python -m repro experiments --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.connectivity_api import (
+    local_connectivity,
+    minimum_vertex_cut,
+    vertex_connectivity,
+)
+from repro.core.hierarchy import build_hierarchy
+from repro.core.kvcc import enumerate_kvccs
+from repro.core.stats import RunStats
+from repro.core.variants import VARIANTS
+from repro.graph.io import read_edge_list
+from repro.graph.metrics import graph_summary
+from repro.graph.serialization import save_decomposition
+
+
+def _parse_vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def cmd_kvcc(args: argparse.Namespace) -> int:
+    """Enumerate the k-VCCs of an edge-list file."""
+    graph = read_edge_list(args.graph)
+    stats = RunStats(k=args.k)
+    components = enumerate_kvccs(
+        graph, args.k, VARIANTS[args.variant], stats
+    )
+    print(
+        f"{len(components)} {args.k}-VCC(s) in {stats.elapsed_seconds:.3f}s "
+        f"({stats.flow_tests} local connectivity tests, "
+        f"{stats.partitions} partitions)"
+    )
+    if args.out:
+        save_decomposition(args.out, components, args.k,
+                           graph if args.embed_graph else None)
+        print(f"wrote {args.out}")
+    else:
+        for i, sub in enumerate(components):
+            members = ", ".join(map(str, sorted(sub.vertices(), key=str)))
+            print(f"  [{i}] {sub.num_vertices} vertices: {members}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print Table 1-style statistics for a graph file."""
+    graph = read_edge_list(args.graph)
+    summary = graph_summary(graph)
+    print(f"vertices:   {int(summary['num_vertices'])}")
+    print(f"edges:      {int(summary['num_edges'])}")
+    print(f"density:    {summary['density']:.3f}")
+    print(f"max degree: {int(summary['max_degree'])}")
+    return 0
+
+
+def cmd_connectivity(args: argparse.Namespace) -> int:
+    """Vertex connectivity of the graph or a pair."""
+    graph = read_edge_list(args.graph)
+    if (args.u is None) != (args.v is None):
+        print("error: -u and -v must be given together", file=sys.stderr)
+        return 2
+    if args.u is not None:
+        u, v = _parse_vertex(args.u), _parse_vertex(args.v)
+        value = local_connectivity(graph, u, v)
+        print(f"kappa({u}, {v}) = {value}")
+    else:
+        kappa = vertex_connectivity(graph)
+        print(f"kappa(G) = {kappa}")
+        if args.show_cut:
+            try:
+                cut = minimum_vertex_cut(graph)
+            except ValueError as exc:
+                print(f"no cut: {exc}")
+            else:
+                print(f"minimum vertex cut: {sorted(cut, key=str)}")
+    return 0
+
+
+def cmd_hierarchy(args: argparse.Namespace) -> int:
+    """Print the k-VCC hierarchy levels."""
+    graph = read_edge_list(args.graph)
+    hierarchy = build_hierarchy(graph, max_k=args.max_k)
+    print(f"max level: {hierarchy.max_k}")
+    for k in range(1, hierarchy.max_k + 1):
+        comps = hierarchy.components_at(k)
+        sizes = sorted((len(c) for c in comps), reverse=True)
+        print(f"  k={k}: {len(comps)} component(s), sizes {sizes}")
+    if args.vcc_numbers:
+        numbers = hierarchy.vcc_number_map()
+        for v in sorted(numbers, key=str):
+            print(f"  vcc-number({v}) = {numbers[v]}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Run the paper's experiment harness."""
+    from repro.experiments.harness import run_all
+
+    run_all(quick=args.quick)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="k-vertex connected component enumeration "
+        "(Wen et al., ICDE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("kvcc", help="enumerate k-VCCs of an edge list")
+    p.add_argument("graph", help="edge-list file (u v per line, # comments)")
+    p.add_argument("-k", type=int, required=True, help="connectivity threshold")
+    p.add_argument(
+        "--variant", choices=sorted(VARIANTS), default="VCCE*",
+        help="algorithm variant (default: VCCE*)",
+    )
+    p.add_argument("--out", help="write the decomposition to this JSON file")
+    p.add_argument(
+        "--embed-graph", action="store_true",
+        help="embed the input graph in the JSON output",
+    )
+    p.set_defaults(func=cmd_kvcc)
+
+    p = sub.add_parser("stats", help="print graph statistics")
+    p.add_argument("graph")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "connectivity", help="vertex connectivity (whole graph or a pair)"
+    )
+    p.add_argument("graph")
+    p.add_argument("-u", help="first vertex of a pair query")
+    p.add_argument("-v", help="second vertex of a pair query")
+    p.add_argument(
+        "--show-cut", action="store_true",
+        help="also print a minimum vertex cut (whole-graph query only)",
+    )
+    p.set_defaults(func=cmd_connectivity)
+
+    p = sub.add_parser("hierarchy", help="k-VCC hierarchy across k")
+    p.add_argument("graph")
+    p.add_argument("--max-k", type=int, default=None)
+    p.add_argument(
+        "--vcc-numbers", action="store_true",
+        help="also print the per-vertex vcc-number",
+    )
+    p.set_defaults(func=cmd_hierarchy)
+
+    p = sub.add_parser("experiments", help="run the paper's experiments")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI dispatch; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: k-VCC enumeration.
+
+Public entry points
+-------------------
+:func:`~repro.core.kvcc.enumerate_kvccs`
+    Algorithm 1 (KVCC-ENUM): all k-VCCs of a graph, with the optimization
+    level selected by :class:`~repro.core.options.KVCCOptions`.
+:func:`~repro.core.kvcc.vccs_containing`
+    The case-study query (Section 6.4): all k-VCCs containing a vertex.
+:mod:`~repro.core.variants`
+    The four named configurations of the experiments (VCCE, VCCE-N,
+    VCCE-G, VCCE*).
+:mod:`~repro.core.connectivity_api`
+    Whole-graph helpers: ``is_k_connected``, ``vertex_connectivity``.
+"""
+
+from repro.core.options import KVCCOptions
+from repro.core.stats import RunStats
+from repro.core.kvcc import enumerate_kvccs, vccs_containing
+from repro.core.partition import overlap_partition
+from repro.core.global_cut import global_cut
+from repro.core.connectivity_api import (
+    is_k_connected,
+    local_connectivity,
+    minimum_vertex_cut,
+    vertex_connectivity,
+)
+from repro.core.ksweep import enumerate_kvccs_sweep
+from repro.core.ecc_prefilter import enumerate_kvccs_via_ecc
+from repro.core.overlap_graph import OverlapGraph, build_overlap_graph
+from repro.core.variants import (
+    VARIANTS,
+    vcce,
+    vcce_g,
+    vcce_n,
+    vcce_star,
+)
+
+__all__ = [
+    "KVCCOptions",
+    "RunStats",
+    "enumerate_kvccs",
+    "vccs_containing",
+    "overlap_partition",
+    "global_cut",
+    "is_k_connected",
+    "local_connectivity",
+    "minimum_vertex_cut",
+    "vertex_connectivity",
+    "enumerate_kvccs_sweep",
+    "enumerate_kvccs_via_ecc",
+    "OverlapGraph",
+    "build_overlap_graph",
+    "VARIANTS",
+    "vcce",
+    "vcce_g",
+    "vcce_n",
+    "vcce_star",
+]

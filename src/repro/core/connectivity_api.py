@@ -1,0 +1,123 @@
+"""Whole-graph vertex connectivity helpers built on GLOBAL-CUT.
+
+These are not part of the paper's algorithm set but fall out of it for
+free, and the tests lean on them heavily:
+
+* :func:`is_k_connected` - Definition 2 (``|V| > k`` and no < k cut);
+* :func:`vertex_connectivity` - ``kappa(G)`` (Definition 1) by binary
+  search over :func:`is_k_connected`;
+* :func:`local_connectivity` - ``kappa(u, v)`` (Definition 6), infinite
+  for adjacent vertices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Set, Union
+
+from repro.core.global_cut import global_cut
+from repro.core.options import KVCCOptions
+from repro.flow.dinic import max_flow_min_k
+from repro.flow.flow_network import build_flow_network
+from repro.graph.connectivity import is_connected
+from repro.graph.graph import Graph, Vertex
+
+#: Options tuned for one-shot connectivity queries: sweeps only cost time
+#: when the answer is computed once, so keep the machinery minimal.
+_QUERY_OPTIONS = KVCCOptions(
+    neighbor_sweep=False,
+    group_sweep=False,
+    farthest_first=False,
+    source_strong_side_vertex=False,
+    maintain_side_vertices=False,
+)
+
+
+def is_k_connected(graph: Graph, k: int) -> bool:
+    """Definition 2: ``|V| > k`` and no removal of ``k - 1`` vertices
+    disconnects the graph.
+
+    ``k = 0`` is satisfied by any non-empty graph.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    n = graph.num_vertices
+    if k == 0:
+        return n > 0
+    if n <= k:
+        return False
+    if not is_connected(graph):
+        return False
+    return global_cut(graph, k, _QUERY_OPTIONS) is None
+
+
+def vertex_connectivity(graph: Graph) -> int:
+    """``kappa(G)`` (Definition 1): size of a minimum vertex cut.
+
+    A complete graph ``K_n`` has connectivity ``n - 1`` (only a trivial
+    graph remains after removals); a disconnected or single-vertex graph
+    has connectivity 0.  Runs ``O(log n)`` GLOBAL-CUT probes.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        raise ValueError("vertex connectivity of an empty graph is undefined")
+    if n == 1 or not is_connected(graph):
+        return 0
+    # kappa is in [1, n-1]; is_k_connected is monotone decreasing in k.
+    lo, hi = 1, n - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if is_k_connected(graph, mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def minimum_vertex_cut(graph: Graph) -> Set[Vertex]:
+    """A minimum vertex cut of a connected, non-complete graph.
+
+    Computes ``kappa(G)`` by binary search and then extracts a cut of
+    exactly that size by running GLOBAL-CUT at ``k = kappa + 1`` (any
+    cut it returns has fewer than ``kappa + 1`` vertices, and none can
+    have fewer than ``kappa``).
+
+    Raises
+    ------
+    ValueError
+        If the graph has fewer than 2 vertices, is disconnected (every
+        vertex set including the empty one "disconnects" it - there is
+        no meaningful minimum), or is complete (no cut exists).
+    """
+    n = graph.num_vertices
+    if n < 2:
+        raise ValueError("minimum vertex cut needs at least two vertices")
+    if not is_connected(graph):
+        raise ValueError("minimum vertex cut of a disconnected graph")
+    kappa = vertex_connectivity(graph)
+    if kappa >= n - 1:
+        raise ValueError("complete graph has no vertex cut")
+    cut = global_cut(graph, kappa + 1, _QUERY_OPTIONS)
+    assert cut is not None and len(cut) == kappa
+    return cut
+
+
+def local_connectivity(
+    graph: Graph,
+    u: Vertex,
+    v: Vertex,
+    cap: Optional[int] = None,
+) -> Union[int, float]:
+    """``kappa(u, v)`` (Definition 6): size of a minimum u-v vertex cut.
+
+    Returns ``math.inf`` for adjacent vertices (no u-v cut exists,
+    matching the paper's convention) and for ``cap``-limited queries the
+    value is clamped to ``cap``.
+    """
+    if u == v:
+        raise ValueError("local connectivity of a vertex with itself")
+    if graph.has_edge(u, v):
+        return math.inf
+    limit = cap if cap is not None else max(1, graph.num_vertices - 1)
+    net = build_flow_network(graph, limit)
+    return max_flow_min_k(net, net.node_out(u), net.node_in(v), limit)

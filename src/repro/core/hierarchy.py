@@ -1,0 +1,139 @@
+"""The k-VCC hierarchy: decomposition across all k at once.
+
+The paper enumerates k-VCCs for one k; a natural extension (its "future
+work" flavor, analogous to core decomposition vs a single k-core) is the
+*hierarchy*: since every (k+1)-VCC is k-vertex-connected, every
+(k+1)-VCC is contained in exactly one k-VCC (containment in two would
+violate Property 1's < k overlap bound, as a (k+1)-VCC has > k+1
+vertices... and at least k+1 of them would be shared).  The k-VCCs
+across increasing k therefore form a forest.
+
+This module computes that forest bottom-up: level k+1 is obtained by
+enumerating (k+1)-VCCs *inside each k-VCC independently*, which is
+correct because a (k+1)-VCC, being (k+1)-connected, can never straddle a
+< (k+1) cut of a k-VCC, and is much faster than running KVCC-ENUM on the
+whole graph per k.
+
+Derived queries:
+
+* :func:`vcc_number` - for every vertex, the largest k such that the
+  vertex belongs to some k-VCC (the vertex-connectivity analog of the
+  core number);
+* :meth:`KVCCHierarchy.components_at` - all k-VCCs at a level;
+* :meth:`KVCCHierarchy.levels_of` - the levels a vertex survives to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.kvcc import kvcc_vertex_sets
+from repro.core.options import KVCCOptions
+from repro.graph.graph import Graph, Vertex
+
+
+@dataclass
+class HierarchyNode:
+    """One k-VCC in the hierarchy forest."""
+
+    k: int
+    vertices: Set[Vertex]
+    parent: Optional[int] = None  # index into KVCCHierarchy.nodes
+    children: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.vertices)
+
+
+@dataclass
+class KVCCHierarchy:
+    """The forest of k-VCCs for k = 1 .. max_k.
+
+    ``nodes[i]`` is a :class:`HierarchyNode`; roots are the 1-VCCs (the
+    non-trivial connected components).  ``max_k`` is the largest level
+    with at least one component.
+    """
+
+    nodes: List[HierarchyNode] = field(default_factory=list)
+    max_k: int = 0
+
+    def components_at(self, k: int) -> List[Set[Vertex]]:
+        """All k-VCC vertex sets at level ``k``."""
+        return [n.vertices for n in self.nodes if n.k == k]
+
+    def roots(self) -> List[int]:
+        """Indices of the level-1 components."""
+        return [i for i, n in enumerate(self.nodes) if n.parent is None]
+
+    def levels_of(self, v: Vertex) -> List[int]:
+        """Sorted levels k at which ``v`` belongs to some k-VCC."""
+        return sorted({n.k for n in self.nodes if v in n.vertices})
+
+    def vcc_number_map(self) -> Dict[Vertex, int]:
+        """For each vertex, the largest k with the vertex in a k-VCC."""
+        out: Dict[Vertex, int] = {}
+        for node in self.nodes:
+            for v in node.vertices:
+                if out.get(v, 0) < node.k:
+                    out[v] = node.k
+        return out
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def build_hierarchy(
+    graph: Graph,
+    max_k: Optional[int] = None,
+    options: Optional[KVCCOptions] = None,
+) -> KVCCHierarchy:
+    """Compute the k-VCC forest of ``graph`` for k = 1 .. ``max_k``.
+
+    ``max_k=None`` keeps going until a level has no components (which
+    happens at the latest just above the graph's degeneracy).
+    """
+    hierarchy = KVCCHierarchy()
+    # Level 1 on the whole graph.
+    frontier: List[int] = []
+    for vs in kvcc_vertex_sets(graph, 1, options):
+        hierarchy.nodes.append(HierarchyNode(k=1, vertices=vs))
+        frontier.append(len(hierarchy.nodes) - 1)
+    if frontier:
+        hierarchy.max_k = 1
+
+    k = 1
+    while frontier and (max_k is None or k < max_k):
+        k += 1
+        next_frontier: List[int] = []
+        for parent_idx in frontier:
+            parent = hierarchy.nodes[parent_idx]
+            sub = graph.induced_subgraph(parent.vertices)
+            for vs in kvcc_vertex_sets(sub, k, options):
+                node = HierarchyNode(k=k, vertices=vs, parent=parent_idx)
+                hierarchy.nodes.append(node)
+                child_idx = len(hierarchy.nodes) - 1
+                parent.children.append(child_idx)
+                next_frontier.append(child_idx)
+        if next_frontier:
+            hierarchy.max_k = k
+        frontier = next_frontier
+    return hierarchy
+
+
+def vcc_number(
+    graph: Graph,
+    max_k: Optional[int] = None,
+    options: Optional[KVCCOptions] = None,
+) -> Dict[Vertex, int]:
+    """The vertex-connectivity analog of the core number.
+
+    ``vcc_number(G)[v]`` is the largest ``k`` such that ``v`` lies in
+    some k-VCC of ``G`` (0 for vertices in none, e.g. isolated ones).
+    Always at most the core number of ``v`` (Theorem 3).
+    """
+    hierarchy = build_hierarchy(graph, max_k=max_k, options=options)
+    out = {v: 0 for v in graph.vertices()}
+    out.update(hierarchy.vcc_number_map())
+    return out

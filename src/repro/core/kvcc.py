@@ -1,0 +1,184 @@
+"""KVCC-ENUM (Algorithm 1): enumerate all k-vertex connected components.
+
+The driver is a worklist version of the paper's recursion:
+
+1. peel the k-core (every k-VCC lives inside one, Theorem 3);
+2. for each connected component with more than k vertices, ask
+   GLOBAL-CUT for a vertex cut smaller than k;
+3. no cut -> the component is a k-VCC; otherwise OVERLAP-PARTITION it
+   along the cut (duplicating the cut vertices) and recurse on the parts.
+
+Lemma 10 bounds the number of partitions by ``(n - k - 1) / 2`` and
+Theorem 6 the number of k-VCCs by ``n / 2``, so the loop terminates after
+at most ``n`` GLOBAL-CUT calls (Theorem 7).
+
+Across partitions the driver maintains the strong side-vertex sets
+(Lemmas 15-16): a child inherits the parent's verdict for every vertex
+whose 1- and 2-hop neighborhoods survived both the partition and the
+child's k-core peel intact, and rechecks only the rest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.core.global_cut import global_cut
+from repro.core.options import KVCCOptions
+from repro.core.partition import overlap_partition
+from repro.core.side_vertex import split_inheritance, strong_side_vertices
+from repro.core.stats import RunStats, Timer
+from repro.graph.connectivity import connected_components
+from repro.graph.core_decomposition import peel_in_place
+from repro.graph.graph import Graph, Vertex
+
+#: Worklist entry: (subgraph, inherited strong set, recheck set).  The two
+#: sets are ``None`` for the roots, which get a full Theorem-8 scan.
+_WorkItem = Tuple[Graph, Optional[Set[Vertex]], Optional[Set[Vertex]]]
+
+
+def enumerate_kvccs(
+    graph: Graph,
+    k: int,
+    options: Optional[KVCCOptions] = None,
+    stats: Optional[RunStats] = None,
+) -> List[Graph]:
+    """All k-VCCs of ``graph`` (Algorithm 1).
+
+    Parameters
+    ----------
+    graph:
+        Any undirected graph; it is not modified.  Disconnected input is
+        fine - each component is processed independently.
+    k:
+        Connectivity threshold, ``k >= 1``.  For ``k = 1`` the result is
+        the connected components with at least two vertices.
+    options:
+        Strategy switches; the default is the fully optimized VCCE*.
+    stats:
+        Optional counter sink (see :class:`~repro.core.stats.RunStats`);
+        wall-clock time is accumulated into ``stats.elapsed_seconds``.
+
+    Returns
+    -------
+    list of Graph
+        The k-VCCs as independent induced subgraphs.  Distinct k-VCCs may
+        share up to ``k - 1`` vertices (Property 1); the returned graphs
+        own their adjacency, so mutating one does not affect another.
+
+    Raises
+    ------
+    ValueError
+        If ``k < 1``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    options = options or KVCCOptions()
+    stats = stats if stats is not None else RunStats(k=k)
+
+    if k == 2 and options.tarjan_k2:
+        from repro.graph.biconnected import two_vccs
+
+        with Timer(stats):
+            result = [
+                graph.induced_subgraph(c) for c in two_vccs(graph)
+            ]
+            stats.kvccs_found += len(result)
+        return result
+
+    with Timer(stats):
+        result: List[Graph] = []
+        work = graph.copy()
+        stats.kcore_removed_vertices += len(peel_in_place(work, k))
+
+        stack: List[_WorkItem] = []
+        resident = 0
+        for comp in connected_components(work):
+            if len(comp) > k:
+                sub = work.induced_subgraph(comp)
+                stack.append((sub, None, None))
+                resident += sub.num_vertices
+        stats.peak_resident_vertices = max(
+            stats.peak_resident_vertices, resident
+        )
+
+        maintain = (
+            options.side_vertices_enabled and options.maintain_side_vertices
+        )
+        while stack:
+            sub, inherited, recheck = stack.pop()
+            resident -= sub.num_vertices
+
+            strong: Optional[Set[Vertex]] = None
+            if options.side_vertices_enabled:
+                if inherited is not None:
+                    strong = inherited | strong_side_vertices(sub, k, recheck)
+                else:
+                    strong = strong_side_vertices(sub, k)
+
+            cut = global_cut(
+                sub, k, options, stats, precomputed_strong=strong
+            )
+            if cut is None:
+                result.append(sub)
+                stats.kvccs_found += 1
+                continue
+
+            stats.partitions += 1
+            for part in overlap_partition(sub, cut):
+                peel_in_place(part, k)
+                for comp in connected_components(part):
+                    if len(comp) <= k:
+                        continue
+                    child = part.induced_subgraph(comp)
+                    if maintain and strong is not None:
+                        inh, re = split_inheritance(sub, child, strong)
+                        stack.append((child, inh, re))
+                    else:
+                        stack.append((child, None, None))
+                    resident += child.num_vertices
+            stats.peak_resident_vertices = max(
+                stats.peak_resident_vertices, resident
+            )
+    return result
+
+
+def kvcc_vertex_sets(
+    graph: Graph,
+    k: int,
+    options: Optional[KVCCOptions] = None,
+    stats: Optional[RunStats] = None,
+) -> List[Set[Vertex]]:
+    """The k-VCCs as vertex sets (cheaper to compare and store)."""
+    return [
+        set(sub.vertices())
+        for sub in enumerate_kvccs(graph, k, options, stats)
+    ]
+
+
+def vccs_containing(
+    graph: Graph,
+    k: int,
+    vertex: Vertex,
+    options: Optional[KVCCOptions] = None,
+) -> List[Graph]:
+    """All k-VCCs that contain ``vertex`` (the Section 6.4 case-study query).
+
+    Restricts work to the connected component of the k-core containing
+    the query vertex before enumerating; a vertex outside the k-core is
+    in no k-VCC and yields an empty list.
+    """
+    work = graph.copy()
+    peel_in_place(work, k)
+    if vertex not in work:
+        return []
+    for comp in connected_components(work):
+        if vertex in comp:
+            component = work.induced_subgraph(comp)
+            break
+    else:  # pragma: no cover - unreachable, vertex is in work
+        return []
+    return [
+        sub
+        for sub in enumerate_kvccs(component, k, options)
+        if vertex in sub
+    ]

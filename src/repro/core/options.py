@@ -1,0 +1,80 @@
+"""Configuration knobs for the enumeration algorithms.
+
+The experiments in Section 6.2 compare four variants that differ only in
+which pruning strategies are active; :class:`KVCCOptions` captures those
+switches plus the lower-level choices the paper fixes implicitly (source
+selection, phase-1 test order, sparse certification).  The presets live
+in :mod:`repro.core.variants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KVCCOptions:
+    """Switches for GLOBAL-CUT / KVCC-ENUM.
+
+    Attributes
+    ----------
+    use_certificate:
+        Compute the sparse certificate and run connectivity testing on it
+        (Algorithm 2 line 1 / Algorithm 3 line 1).  Both the basic and the
+        optimized algorithms use it in the paper; turning it off is an
+        ablation.
+    neighbor_sweep:
+        Section 5.1: strong side-vertex rule (NS 1) and vertex-deposit
+        rule (NS 2).
+    group_sweep:
+        Section 5.2: side-groups from ``F_k``, group deposits (GS 1-2)
+        and same-group pair skipping in phase 2 (GS 3).
+    farthest_first:
+        Process phase-1 vertices in non-ascending BFS distance from the
+        source (Algorithm 3 line 11).  The basic Algorithm 2 iterates in
+        natural order instead.
+    source_strong_side_vertex:
+        Pick the source vertex among strong side-vertices when any exist,
+        which makes phase 2 unnecessary (Algorithm 3 lines 4-7).  Only
+        meaningful when side-vertices are being computed at all, i.e.
+        when ``neighbor_sweep`` or ``group_sweep`` is on.
+    maintain_side_vertices:
+        Restrict strong side-vertex detection in partitioned subgraphs to
+        candidates inherited from the parent (Lemmas 15-16), rechecking
+        only vertices whose 2-hop structure may have changed.
+    seed:
+        Tie-break seed for the (paper: random) choice among strong
+        side-vertex sources.  The default picks deterministically.
+    tarjan_k2:
+        For ``k = 2`` only: answer with the linear-time Hopcroft-Tarjan
+        biconnected components instead of the flow machinery.  Off by
+        default to keep the paper's algorithm the reference path; the
+        two are proven equivalent by the test suite.
+    """
+
+    use_certificate: bool = True
+    neighbor_sweep: bool = True
+    group_sweep: bool = True
+    farthest_first: bool = True
+    source_strong_side_vertex: bool = True
+    maintain_side_vertices: bool = True
+    seed: int = 0
+    tarjan_k2: bool = False
+
+    @property
+    def side_vertices_enabled(self) -> bool:
+        """Strong side-vertices are needed by either sweep family."""
+        return self.neighbor_sweep or self.group_sweep
+
+    def describe(self) -> str:
+        """Short human-readable tag, e.g. for benchmark labels."""
+        parts = []
+        if self.neighbor_sweep:
+            parts.append("NS")
+        if self.group_sweep:
+            parts.append("GS")
+        if not parts:
+            parts.append("basic")
+        if not self.use_certificate:
+            parts.append("nocert")
+        return "+".join(parts)

@@ -1,0 +1,115 @@
+"""Instrumentation for the efficiency experiments.
+
+Table 2 reports, per dataset, which fraction of the phase-1 vertices was
+pruned by neighbor sweep rule 1 (strong side-vertex), neighbor sweep rule
+2 (vertex deposit), group sweep, or not pruned at all; Figures 10-12
+report wall-clock time, k-VCC counts and memory.  :class:`RunStats`
+accumulates all of it in one place so the experiment drivers stay thin.
+
+The counters deliberately live outside the algorithm's hot loops' inner
+bodies where possible; the enumeration code updates them at the same
+program points the paper instruments (Section 6.2, "Testing the
+Effectiveness of Sweep Rules").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Attribution labels for why a phase-1 vertex was skipped.
+PRUNE_NS1 = "ns1"  # neighbor sweep rule 1 (strong side-vertex)
+PRUNE_NS2 = "ns2"  # neighbor sweep rule 2 (vertex deposit)
+PRUNE_GS = "gs"  # group sweep (rules 1 and 2)
+PRUNE_SOURCE = "source"  # the source vertex itself
+TESTED = "tested"  # reached LOC-CUT
+
+
+@dataclass
+class RunStats:
+    """Counters collected over one ``enumerate_kvccs`` run."""
+
+    k: int = 0
+    #: LOC-CUT invocations that actually ran max-flow (non-trivial tests).
+    flow_tests: int = 0
+    #: Phase-1 vertices that reached LOC-CUT (Table 2 "Non-Pru").
+    phase1_tested: int = 0
+    #: Phase-1 vertices skipped per rule (Table 2 "NS 1" / "NS 2" / "GS").
+    phase1_pruned: Dict[str, int] = field(
+        default_factory=lambda: {PRUNE_NS1: 0, PRUNE_NS2: 0, PRUNE_GS: 0}
+    )
+    #: Pair tests performed / skipped in phase 2 (GS rule 3).
+    phase2_tested: int = 0
+    phase2_skipped_group: int = 0
+    #: Structural counters.
+    global_cut_calls: int = 0
+    partitions: int = 0
+    kvccs_found: int = 0
+    kcore_removed_vertices: int = 0
+    certificate_edges_kept: int = 0
+    certificate_edges_input: int = 0
+    #: Peak number of vertices resident across the work stack, a
+    #: machine-independent memory proxy (Figure 12 additionally measures
+    #: tracemalloc peaks in the experiment driver).
+    peak_resident_vertices: int = 0
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def record_prune(self, reason: str) -> None:
+        """Tally a phase-1 vertex skipped for ``reason``."""
+        if reason in self.phase1_pruned:
+            self.phase1_pruned[reason] += 1
+
+    def phase1_total(self) -> int:
+        """All phase-1 loop vertices that were classified (pruned or tested)."""
+        return self.phase1_tested + sum(self.phase1_pruned.values())
+
+    def prune_proportions(self) -> Dict[str, float]:
+        """Table 2's row: fraction per rule plus ``non_pruned``.
+
+        Returns zeros when no phase-1 vertex was processed (e.g. the
+        whole graph died in k-core peeling).
+        """
+        total = self.phase1_total()
+        if total == 0:
+            return {PRUNE_NS1: 0.0, PRUNE_NS2: 0.0, PRUNE_GS: 0.0, "non_pruned": 0.0}
+        out = {
+            rule: count / total for rule, count in self.phase1_pruned.items()
+        }
+        out["non_pruned"] = self.phase1_tested / total
+        return out
+
+    def merge(self, other: "RunStats") -> None:
+        """Accumulate another run's counters into this one (for k sweeps)."""
+        self.flow_tests += other.flow_tests
+        self.phase1_tested += other.phase1_tested
+        for rule, count in other.phase1_pruned.items():
+            self.phase1_pruned[rule] = self.phase1_pruned.get(rule, 0) + count
+        self.phase2_tested += other.phase2_tested
+        self.phase2_skipped_group += other.phase2_skipped_group
+        self.global_cut_calls += other.global_cut_calls
+        self.partitions += other.partitions
+        self.kvccs_found += other.kvccs_found
+        self.kcore_removed_vertices += other.kcore_removed_vertices
+        self.certificate_edges_kept += other.certificate_edges_kept
+        self.certificate_edges_input += other.certificate_edges_input
+        self.peak_resident_vertices = max(
+            self.peak_resident_vertices, other.peak_resident_vertices
+        )
+        self.elapsed_seconds += other.elapsed_seconds
+
+
+class Timer:
+    """Context manager recording wall-clock time into ``stats.elapsed_seconds``."""
+
+    def __init__(self, stats: RunStats) -> None:
+        self._stats = stats
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stats.elapsed_seconds += time.perf_counter() - self._start

@@ -1,0 +1,77 @@
+"""The four algorithm variants of the efficiency study (Section 6.2).
+
+========  =============================================================
+Name      Configuration
+========  =============================================================
+VCCE      Basic algorithm (Section 4): sparse certificate + two-phase
+          GLOBAL-CUT, natural test order, min-degree source, no sweeps.
+VCCE-N    VCCE + neighbor sweep (Section 5.1): strong side-vertices and
+          vertex deposits, farthest-first order, side-vertex source.
+VCCE-G    VCCE + group sweep (Section 5.2): side-groups from F_k, group
+          deposits, same-group pair skipping.
+VCCE*     Both strategy families together (Algorithm 3 as printed).
+========  =============================================================
+
+All four produce identical k-VCC sets (verified by tests); they differ
+only in how many local connectivity tests they run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.kvcc import enumerate_kvccs
+from repro.core.options import KVCCOptions
+from repro.core.stats import RunStats
+from repro.graph.graph import Graph
+
+#: Preset options per variant name (Figure 10's series).
+VARIANTS: Dict[str, KVCCOptions] = {
+    "VCCE": KVCCOptions(
+        neighbor_sweep=False,
+        group_sweep=False,
+        farthest_first=False,
+        source_strong_side_vertex=False,
+        maintain_side_vertices=False,
+    ),
+    "VCCE-N": KVCCOptions(
+        neighbor_sweep=True,
+        group_sweep=False,
+    ),
+    "VCCE-G": KVCCOptions(
+        neighbor_sweep=False,
+        group_sweep=True,
+    ),
+    "VCCE*": KVCCOptions(
+        neighbor_sweep=True,
+        group_sweep=True,
+    ),
+}
+
+
+def _run(
+    name: str, graph: Graph, k: int, stats: Optional[RunStats]
+) -> List[Graph]:
+    return enumerate_kvccs(graph, k, VARIANTS[name], stats)
+
+
+def vcce(graph: Graph, k: int, stats: Optional[RunStats] = None) -> List[Graph]:
+    """The basic algorithm of Section 4 (no sweep pruning)."""
+    return _run("VCCE", graph, k, stats)
+
+
+def vcce_n(graph: Graph, k: int, stats: Optional[RunStats] = None) -> List[Graph]:
+    """Basic + neighbor sweep (Section 5.1)."""
+    return _run("VCCE-N", graph, k, stats)
+
+
+def vcce_g(graph: Graph, k: int, stats: Optional[RunStats] = None) -> List[Graph]:
+    """Basic + group sweep (Section 5.2)."""
+    return _run("VCCE-G", graph, k, stats)
+
+
+def vcce_star(
+    graph: Graph, k: int, stats: Optional[RunStats] = None
+) -> List[Graph]:
+    """The fully optimized algorithm (Algorithm 3, both sweep families)."""
+    return _run("VCCE*", graph, k, stats)

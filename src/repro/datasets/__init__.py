@@ -1,0 +1,25 @@
+"""Dataset stand-ins and sampling utilities for the experiments.
+
+The paper evaluates on seven SNAP graphs (Table 1).  Those downloads are
+unavailable offline, so :mod:`repro.datasets.registry` provides seeded
+synthetic analogs with matching structural *flavor* (see DESIGN.md for
+the substitution rationale); :mod:`repro.datasets.samplers` implements
+the vertex/edge sampling protocol of the scalability study (Figure 13).
+"""
+
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_names,
+    load_dataset,
+    scaled_k_values,
+)
+from repro.datasets.samplers import sample_edges, sample_vertices
+
+__all__ = [
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "scaled_k_values",
+    "sample_edges",
+    "sample_vertices",
+]

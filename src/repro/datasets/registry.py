@@ -1,0 +1,189 @@
+"""Synthetic stand-ins for the paper's seven SNAP datasets (Table 1).
+
+Each stand-in is produced by a seeded generator whose mechanism matches
+the real network's domain:
+
+==========  ===========================  ==================================
+Name        Paper's graph                Stand-in mechanism
+==========  ===========================  ==================================
+stanford    web-Stanford (hyperlinks)    copying-model web graph, dense
+dblp        com-DBLP (co-authorship)     clique-bag collaboration graph
+cnr         cnr-2000 (web crawl)         copying-model web graph, densest
+nd          web-NotreDame (hyperlinks)   copying-model web graph, sparser
+google      web-Google (hyperlinks)      copying-model web graph, largest
+youtube     com-Youtube (social)         planted-partition social graph
+cit         cit-Patents (citations)      preferential + recency citations
+==========  ===========================  ==================================
+
+Scale: the paper's graphs have 0.3M-3.8M vertices and were processed by
+optimized C++; pure-Python max-flow is orders of magnitude slower, so the
+stand-ins are scaled to 1-3 thousand vertices.  All experimental claims
+the harness reproduces are *relative* (variant orderings, trends in k,
+model-quality orderings), which survive the scaling; EXPERIMENTS.md
+flags absolute values as non-comparable.
+
+The paper sweeps k = 20..40, which sits in the upper core range of its
+graphs; :func:`scaled_k_values` maps that protocol onto each stand-in's
+degeneracy so the sweeps stress the same regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.graph.core_decomposition import degeneracy
+from repro.graph.generators import (
+    assemble_communities,
+    citation_graph,
+    collaboration_graph,
+    gnp_random_graph,
+    web_graph,
+)
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named synthetic dataset: generator thunk plus provenance notes."""
+
+    name: str
+    paper_name: str
+    flavor: str
+    build: Callable[[], Graph]
+
+
+def _web_standin(
+    name_seed: int,
+    sizes_and_degrees,
+    copy_prob: float,
+    cross_edges: int,
+) -> Graph:
+    parts = [
+        web_graph(size, out_degree=deg, copy_prob=copy_prob,
+                  seed=name_seed * 31 + i)
+        for i, (size, deg) in enumerate(sizes_and_degrees)
+    ]
+    return assemble_communities(parts, cross_edges, seed=name_seed)
+
+
+def _stanford() -> Graph:
+    # Dense hyperlink clusters of varying tightness (density ~8 in Table 1).
+    sizes = [(200, 12), (190, 10), (180, 9), (180, 8), (170, 7),
+             (170, 6), (160, 5), (150, 4)]
+    return _web_standin(101, sizes, copy_prob=0.68, cross_edges=24)
+
+
+def _dblp() -> Graph:
+    # Research areas of varying activity: clique-bag communities.
+    parts = [
+        collaboration_graph(230, papers, mean_paper_size=2.9,
+                            seed=102 * 31 + i)
+        for i, papers in enumerate((950, 800, 680, 560, 470, 390, 320, 260))
+    ]
+    return assemble_communities(parts, 20, seed=102)
+
+
+def _cnr() -> Graph:
+    # The densest crawl in Table 1 (density ~9.9).
+    sizes = [(180, 14), (170, 12), (170, 11), (160, 10), (160, 8),
+             (150, 7), (150, 5)]
+    return _web_standin(103, sizes, copy_prob=0.72, cross_edges=20)
+
+
+def _nd() -> Graph:
+    sizes = [(180, 8), (170, 7), (170, 6), (160, 5), (160, 5),
+             (150, 4), (150, 4), (140, 3), (140, 3)]
+    return _web_standin(104, sizes, copy_prob=0.6, cross_edges=22)
+
+
+def _google() -> Graph:
+    sizes = [(220, 10), (210, 9), (200, 8), (200, 7), (190, 6),
+             (190, 6), (180, 5), (180, 4), (170, 4), (160, 3)]
+    return _web_standin(105, sizes, copy_prob=0.62, cross_edges=26)
+
+
+def _youtube() -> Graph:
+    # Social communities of varying density (ER blocks).
+    parts = [
+        gnp_random_graph(size, p, seed=106 * 31 + i)
+        for i, (size, p) in enumerate(
+            [(150, 0.16), (140, 0.14), (140, 0.12), (130, 0.10),
+             (130, 0.09), (120, 0.08), (120, 0.07), (110, 0.06)]
+        )
+    ]
+    return assemble_communities(parts, 20, seed=106)
+
+
+def _cit() -> Graph:
+    # Research fields citing internally, with occasional cross-field cites.
+    parts = [
+        citation_graph(size, refs=refs, seed=107 * 31 + i)
+        for i, (size, refs) in enumerate(
+            [(260, 7), (250, 6), (240, 5), (230, 5), (220, 4),
+             (210, 4), (200, 3), (190, 3)]
+        )
+    ]
+    return assemble_communities(parts, 16, seed=107)
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("stanford", "web-Stanford", "web", _stanford),
+        DatasetSpec("dblp", "com-DBLP", "collaboration", _dblp),
+        DatasetSpec("cnr", "cnr-2000", "web", _cnr),
+        DatasetSpec("nd", "web-NotreDame", "web", _nd),
+        DatasetSpec("google", "web-Google", "web", _google),
+        DatasetSpec("youtube", "com-Youtube", "social", _youtube),
+        DatasetSpec("cit", "cit-Patents", "citation", _cit),
+    )
+}
+
+#: Datasets used per experiment, matching the paper's figure layouts.
+EFFECTIVENESS_DATASETS = ("youtube", "dblp", "google", "cnr")  # Figs 7-9
+EFFICIENCY_DATASETS = ("stanford", "dblp", "nd", "google", "cit", "cnr")  # Fig 10-12
+SCALABILITY_DATASETS = ("google", "cit")  # Fig 13
+
+_CACHE: Dict[str, Graph] = {}
+
+
+def dataset_names() -> List[str]:
+    """All registered dataset names, in Table 1 order."""
+    return list(DATASETS)
+
+
+def load_dataset(name: str) -> Graph:
+    """Build (or fetch from the in-process cache) a stand-in by name.
+
+    Returns a **copy** so callers may mutate freely; generation itself
+    happens once per process.
+    """
+    if name not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = DATASETS[name].build()
+    return _CACHE[name].copy()
+
+
+def scaled_k_values(graph: Graph, count: int = 5) -> List[int]:
+    """k values playing the role of the paper's k = 20, 25, ..., 40 sweep.
+
+    The paper's sweep spans roughly the top half of its graphs' core
+    range.  We mirror that: ``count`` evenly spaced integers from 45% to
+    85% of the stand-in's degeneracy (minimum 2), deduplicated and
+    sorted.  The upper end stops short of the degeneracy so the final
+    data point still has a non-empty k-core, like the paper's k = 40.
+    """
+    d = degeneracy(graph)
+    if d < 2:
+        return [2]
+    lo = max(2, int(round(d * 0.45)))
+    hi = max(lo, int(round(d * 0.85)))
+    if count == 1:
+        return [hi]
+    step = (hi - lo) / (count - 1)
+    values = sorted({int(round(lo + i * step)) for i in range(count)})
+    return values

@@ -1,0 +1,51 @@
+"""Vertex and edge sampling for the scalability study (Figure 13).
+
+The paper varies graph size and density "by randomly sampling vertices
+and edges respectively from 20% to 100%":
+
+* **vertex sampling** - draw a fraction of the vertices and take the
+  induced subgraph;
+* **edge sampling** - draw a fraction of the edges and take the incident
+  vertices as the vertex set.
+
+Both are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.graph.graph import Graph
+
+#: The sampling fractions on Figure 13's x axis.
+DEFAULT_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def sample_vertices(graph: Graph, fraction: float, seed: int = 0) -> Graph:
+    """Induced subgraph on a random ``fraction`` of the vertices."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if fraction == 1.0:
+        return graph.copy()
+    vertices: List = sorted(graph.vertices())
+    count = max(1, int(round(fraction * len(vertices))))
+    chosen = random.Random(seed).sample(vertices, count)
+    return graph.induced_subgraph(chosen)
+
+
+def sample_edges(graph: Graph, fraction: float, seed: int = 0) -> Graph:
+    """Subgraph on a random ``fraction`` of the edges.
+
+    The vertex set is the set of sampled-edge endpoints (the paper:
+    "when sampling edges, we get the incident vertices of the edges as
+    the vertex set"), so isolated vertices disappear.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if fraction == 1.0:
+        return graph.copy()
+    edges = sorted(graph.edges())
+    count = max(1, int(round(fraction * len(edges))))
+    chosen = random.Random(seed).sample(edges, count)
+    return Graph(edges=chosen)

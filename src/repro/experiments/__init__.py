@@ -1,0 +1,24 @@
+"""Experiment drivers reproducing Section 6, one module per table/figure.
+
+==================  ====================================================
+Module              Paper artifact
+==================  ====================================================
+``tables``          Table 1 (network statistics) + ASCII rendering
+``effectiveness``   Figures 7-9 (diameter / edge density / clustering)
+``efficiency``      Figure 10 (processing time of the four variants)
+``prune_rules``     Table 2 (proportion pruned per sweep rule)
+``counts``          Figure 11 (number of k-VCCs)
+``memory``          Figure 12 (memory usage of VCCE*)
+``scalability``     Figure 13 (vary |V| / |E| from 20% to 100%)
+``case_study``      Figure 14 (ego-network case study)
+``harness``         Run everything: ``python -m repro.experiments.harness``
+==================  ====================================================
+
+Every driver returns plain data structures (lists of dataclass rows) and
+has a ``format_...`` companion that renders the paper-shaped text table,
+so benchmarks, tests, and the harness all share one code path.
+"""
+
+from repro.experiments.tables import render_table
+
+__all__ = ["render_table"]

@@ -1,0 +1,130 @@
+"""Case study: Figure 14 (Section 6.4).
+
+The paper queries all 4-VCCs containing 'Jiawei Han' in a DBLP ego
+network and finds seven dense research groups, with core collaborators
+('Philip S. Yu', 'Jian Pei') appearing in several groups, while the
+single 4-ECC / 4-core lumps every group together - and one author
+('Haixun Wang') is in the 4-ECC but in *no* 4-VCC because his
+collaborations are spread across different groups.
+
+DBLP itself is not available offline, so :func:`case_study_ego_graph`
+constructs a synthetic ego network with exactly that sociology:
+
+* a hub author belonging to every research group (each group is a
+  co-authorship clique of 5-7 authors);
+* two senior collaborators shared across specific groups (so 4-VCCs
+  overlap in up to 3 = k-1 vertices);
+* one "spread-out" author with exactly four collaborations in four
+  different groups - enough degree for the 4-core and enough edge
+  connectivity for the 4-ECC, but separable from any group by a 2-cut
+  (hub + himself), hence outside every 4-VCC.
+
+The query path exercised is the public
+:func:`repro.core.kvcc.vccs_containing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.baselines.kcore_cc import k_core_components
+from repro.baselines.kecc import k_ecc_components
+from repro.core.kvcc import vccs_containing
+from repro.experiments.tables import render_table
+from repro.graph.graph import Graph
+
+HUB = "Jiawei Han"
+SENIOR_A = "Philip S. Yu"  # shared by groups 0, 1, 2
+SENIOR_B = "Jian Pei"  # shared by groups 2, 3
+SPREAD = "Haixun Wang"  # four collaborations, four different groups
+
+#: Group sizes (excluding hub and seniors); seven groups like the paper.
+_GROUP_SIZES = (5, 5, 4, 5, 6, 4, 5)
+_SENIORS: Dict[int, Tuple[str, ...]] = {
+    0: (SENIOR_A,),
+    1: (SENIOR_A,),
+    2: (SENIOR_A, SENIOR_B),
+    3: (SENIOR_B,),
+}
+
+
+def case_study_ego_graph() -> Tuple[Graph, List[Set[str]]]:
+    """The synthetic ego network and its expected 4-VCC vertex sets."""
+    g = Graph()
+    groups: List[Set[str]] = []
+    for gid, size in enumerate(_GROUP_SIZES):
+        members = {HUB}
+        members.update(_SENIORS.get(gid, ()))
+        members.update(f"author-{gid}-{i}" for i in range(size))
+        ordered = sorted(members)
+        for i, u in enumerate(ordered):
+            for v in ordered[i + 1 :]:
+                g.add_edge(u, v)
+        groups.append(members)
+    # The spread-out author: one collaboration in each of groups 3..6.
+    for gid in (3, 4, 5, 6):
+        g.add_edge(SPREAD, f"author-{gid}-0")
+    return g, groups
+
+
+@dataclass
+class CaseStudyResult:
+    """Everything Figure 14 talks about, computed."""
+
+    kvccs: List[Set[str]]
+    eccs: List[Set[str]]
+    cores: List[Set[str]]
+    spread_in_ecc: bool
+    spread_in_any_kvcc: bool
+    hub_group_count: int
+    multi_group_authors: List[str]
+
+
+def run_case_study(k: int = 4) -> CaseStudyResult:
+    """Reproduce the Figure 14 narrative on the synthetic ego network."""
+    graph, _ = case_study_ego_graph()
+    kvccs = [set(sub.vertices()) for sub in vccs_containing(graph, k, HUB)]
+    eccs = [set(c) for c in k_ecc_components(graph, k)]
+    cores = [set(c) for c in k_core_components(graph, k)]
+    membership: Dict[str, int] = {}
+    for component in kvccs:
+        for author in component:
+            membership[author] = membership.get(author, 0) + 1
+    multi = sorted(a for a, c in membership.items() if c > 1)
+    return CaseStudyResult(
+        kvccs=kvccs,
+        eccs=eccs,
+        cores=cores,
+        spread_in_ecc=any(SPREAD in c for c in eccs),
+        spread_in_any_kvcc=any(SPREAD in c for c in kvccs),
+        hub_group_count=membership.get(HUB, 0),
+        multi_group_authors=multi,
+    )
+
+
+def format_case_study(result: CaseStudyResult) -> str:
+    """Render the Figure 14 comparison as text."""
+    rows = [
+        ("4-VCCs containing the hub", len(result.kvccs)),
+        ("4-ECCs", len(result.eccs)),
+        ("4-core components", len(result.cores)),
+        ("hub appears in this many 4-VCCs", result.hub_group_count),
+        (
+            "authors in more than one 4-VCC",
+            ", ".join(result.multi_group_authors),
+        ),
+        (f"'{SPREAD}' in the 4-ECC", result.spread_in_ecc),
+        (f"'{SPREAD}' in any 4-VCC", result.spread_in_any_kvcc),
+    ]
+    return render_table(["quantity", "value"], rows)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI entry point: print this experiment's output."""
+    print("Figure 14: DBLP-style ego network case study (k = 4)")
+    print(format_case_study(run_case_study()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,119 @@
+"""Efficiency study: Figure 10 (Section 6.2).
+
+Processing time of the four algorithm variants (VCCE, VCCE-N, VCCE-G,
+VCCE*) on each dataset across a k sweep.  Expected shape, reproduced by
+the stand-ins:
+
+* VCCE* fastest everywhere, VCCE slowest everywhere;
+* both single-strategy variants in between;
+* time generally decreases as k grows (higher k -> smaller k-core,
+  fewer k-VCCs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.kvcc import enumerate_kvccs
+from repro.core.stats import RunStats
+from repro.core.variants import VARIANTS
+from repro.datasets.registry import (
+    EFFICIENCY_DATASETS,
+    load_dataset,
+    scaled_k_values,
+)
+from repro.experiments.tables import render_table
+
+
+@dataclass
+class EfficiencyRow:
+    """One (dataset, k, variant) timing sample of Figure 10."""
+
+    dataset: str
+    k: int
+    variant: str
+    seconds: float
+    kvccs: int
+    flow_tests: int
+    stats: RunStats = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def run_efficiency(
+    datasets: Sequence[str] = EFFICIENCY_DATASETS,
+    variants: Sequence[str] = tuple(VARIANTS),
+    k_values: Optional[Dict[str, List[int]]] = None,
+    k_count: int = 5,
+) -> List[EfficiencyRow]:
+    """Time every variant on every (dataset, k) pair."""
+    rows: List[EfficiencyRow] = []
+    for name in datasets:
+        graph = load_dataset(name)
+        ks = (k_values or {}).get(name) or scaled_k_values(graph, k_count)
+        for k in ks:
+            for variant in variants:
+                stats = RunStats(k=k)
+                result = enumerate_kvccs(graph, k, VARIANTS[variant], stats)
+                rows.append(
+                    EfficiencyRow(
+                        dataset=name,
+                        k=k,
+                        variant=variant,
+                        seconds=stats.elapsed_seconds,
+                        kvccs=len(result),
+                        flow_tests=stats.flow_tests,
+                        stats=stats,
+                    )
+                )
+    return rows
+
+
+def format_efficiency(rows: List[EfficiencyRow]) -> str:
+    """Render Figure 10 as a table: one row per (dataset, k)."""
+    variants = list(dict.fromkeys(r.variant for r in rows))
+    cells = {(r.dataset, r.k, r.variant): r for r in rows}
+    keys = sorted({(r.dataset, r.k) for r in rows})
+    table_rows = []
+    for dataset, k in keys:
+        row: List[object] = [dataset, k]
+        for variant in variants:
+            r = cells.get((dataset, k, variant))
+            row.append(f"{r.seconds:.3f}s" if r else "-")
+        table_rows.append(row)
+    return render_table(["dataset", "k", *variants], table_rows)
+
+
+def speedup_summary(rows: List[EfficiencyRow]) -> Dict[str, float]:
+    """Per-dataset speedup of VCCE* over VCCE (geometric mean over k)."""
+    import math
+
+    by_dataset: Dict[str, List[float]] = {}
+    cells = {(r.dataset, r.k, r.variant): r for r in rows}
+    for r in rows:
+        if r.variant != "VCCE":
+            continue
+        star = cells.get((r.dataset, r.k, "VCCE*"))
+        if star and star.seconds > 0:
+            by_dataset.setdefault(r.dataset, []).append(
+                r.seconds / star.seconds
+            )
+    return {
+        name: math.exp(sum(math.log(x) for x in xs) / len(xs))
+        for name, xs in by_dataset.items()
+        if xs
+    }
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI entry point: print this experiment's output."""
+    rows = run_efficiency()
+    print("Figure 10: processing time")
+    print(format_efficiency(rows))
+    print()
+    print("geometric-mean speedup of VCCE* over VCCE per dataset:")
+    for name, speedup in speedup_summary(rows).items():
+        print(f"  {name}: {speedup:.1f}x")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,129 @@
+"""Run every experiment and print the paper-shaped outputs.
+
+Usage::
+
+    python -m repro.experiments.harness            # full run
+    python -m repro.experiments.harness --quick    # small subsets
+
+The quick mode trims datasets and k counts so the whole sweep finishes
+in well under a minute; the full run covers every dataset and k the
+per-experiment defaults specify (a few minutes of pure-Python flow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments import case_study, counts, effectiveness, efficiency
+from repro.experiments import memory as memory_exp
+from repro.experiments import prune_rules, recovery, scalability, tables
+from repro.experiments.plots import chart_from_rows
+
+
+def run_all(quick: bool = False, out=sys.stdout) -> None:
+    """Execute Tables 1-2 and Figures 7-14 in paper order."""
+    def section(title: str) -> None:
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}", file=out)
+
+    started = time.perf_counter()
+
+    section("Table 1: network statistics (synthetic stand-ins)")
+    print(tables.format_table1(tables.run_table1()), file=out)
+
+    section("Figures 7-9: effectiveness (k-CC vs k-ECC vs k-VCC)")
+    eff_rows = effectiveness.run_effectiveness(
+        datasets=("youtube", "dblp") if quick else effectiveness.EFFECTIVENESS_DATASETS,
+        k_count=2 if quick else 4,
+    )
+    for fig, metric in effectiveness.METRICS.items():
+        print(f"\n[{fig}] average {metric}", file=out)
+        print(effectiveness.format_effectiveness(eff_rows, metric), file=out)
+
+    datasets = ("dblp", "cit") if quick else efficiency.EFFICIENCY_DATASETS
+    k_count = 2 if quick else 5
+
+    section("Figure 10: processing time of VCCE / VCCE-N / VCCE-G / VCCE*")
+    eff = efficiency.run_efficiency(datasets=datasets, k_count=k_count)
+    print(efficiency.format_efficiency(eff), file=out)
+    print("\ngeometric-mean speedup of VCCE* over VCCE:", file=out)
+    for name, speedup in efficiency.speedup_summary(eff).items():
+        print(f"  {name}: {speedup:.1f}x", file=out)
+    for name in datasets:
+        panel = [r for r in eff if r.dataset == name]
+        if len({r.k for r in panel}) > 1:
+            print(file=out)
+            print(
+                chart_from_rows(
+                    panel, "k", "seconds", "variant",
+                    log_y=True, title=f"[fig10 chart] {name} (seconds vs k)",
+                ),
+                file=out,
+            )
+
+    section("Table 2: proportion of phase-1 vertices per sweep rule")
+    print(
+        prune_rules.format_prune_rules(
+            prune_rules.run_prune_rules(datasets=datasets, k_count=k_count)
+        ),
+        file=out,
+    )
+
+    section("Figure 11: number of k-VCCs")
+    print(
+        counts.format_counts(
+            counts.run_counts(datasets=datasets, k_count=k_count)
+        ),
+        file=out,
+    )
+
+    section("Figure 12: memory usage of VCCE*")
+    print(
+        memory_exp.format_memory(
+            memory_exp.run_memory(datasets=datasets, k_count=k_count)
+        ),
+        file=out,
+    )
+
+    section("Figure 13: scalability (vary |V| and |E|)")
+    fractions: Sequence[float] = (0.4, 1.0) if quick else scalability.DEFAULT_FRACTIONS
+    print(
+        scalability.format_scalability(
+            scalability.run_scalability(fractions=fractions)
+        ),
+        file=out,
+    )
+
+    section("Figure 14: case study (k = 4 ego network)")
+    print(case_study.format_case_study(case_study.run_case_study()), file=out)
+
+    section("Extension: community recovery vs planted ground truth")
+    print(
+        recovery.format_recovery(
+            recovery.run_recovery(
+                broker_degrees=(2, 4) if quick else (2, 4, 8)
+            )
+        ),
+        file=out,
+    )
+
+    print(
+        f"\nharness completed in {time.perf_counter() - started:.1f}s",
+        file=out,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    """CLI entry point: print this experiment's output."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small subsets, < 1 minute"
+    )
+    args = parser.parse_args(argv)
+    run_all(quick=args.quick)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

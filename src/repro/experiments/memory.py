@@ -1,0 +1,98 @@
+"""Memory usage of VCCE*: Figure 12 (Section 6.2).
+
+Two measurements per (dataset, k):
+
+* ``tracemalloc`` peak - real bytes allocated by the Python process
+  during the run (the honest analog of the paper's resident-set curve);
+* the machine-independent proxy ``peak_resident_vertices`` - the largest
+  total vertex count simultaneously alive on the partition work stack,
+  which isolates the algorithmic memory behavior from CPython's
+  allocator.
+
+Expected shape (both measures): memory generally decreases as k rises -
+the k-core shrinks and fewer partitioned subgraphs coexist - with
+occasional upticks where the sparse certificate densifies, as the paper
+notes.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.kvcc import enumerate_kvccs
+from repro.core.stats import RunStats
+from repro.core.variants import VARIANTS
+from repro.datasets.registry import (
+    EFFICIENCY_DATASETS,
+    load_dataset,
+    scaled_k_values,
+)
+from repro.experiments.tables import render_table
+
+
+@dataclass
+class MemoryRow:
+    """One (dataset, k) point of Figure 12."""
+
+    dataset: str
+    k: int
+    peak_bytes: int
+    peak_resident_vertices: int
+
+
+def run_memory(
+    datasets: Sequence[str] = EFFICIENCY_DATASETS,
+    k_values: Optional[Dict[str, List[int]]] = None,
+    k_count: int = 5,
+) -> List[MemoryRow]:
+    """Measure VCCE* peak memory per (dataset, k)."""
+    rows: List[MemoryRow] = []
+    for name in datasets:
+        graph = load_dataset(name)
+        ks = (k_values or {}).get(name) or scaled_k_values(graph, k_count)
+        for k in ks:
+            stats = RunStats(k=k)
+            tracemalloc.start()
+            try:
+                enumerate_kvccs(graph, k, VARIANTS["VCCE*"], stats)
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            rows.append(
+                MemoryRow(
+                    dataset=name,
+                    k=k,
+                    peak_bytes=peak,
+                    peak_resident_vertices=stats.peak_resident_vertices,
+                )
+            )
+    return rows
+
+
+def format_memory(rows: List[MemoryRow]) -> str:
+    """Render Figure 12 as a table."""
+    table_rows = [
+        (
+            r.dataset,
+            r.k,
+            f"{r.peak_bytes / 2**20:.1f} MB",
+            r.peak_resident_vertices,
+        )
+        for r in sorted(rows, key=lambda x: (x.dataset, x.k))
+    ]
+    return render_table(
+        ["dataset", "k", "tracemalloc peak", "peak resident vertices"],
+        table_rows,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI entry point: print this experiment's output."""
+    print("Figure 12: memory usage of VCCE*")
+    print(format_memory(run_memory()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,132 @@
+"""ASCII line charts for the figure series.
+
+The paper's Figures 7-13 are line charts (metric vs k, or vs sample
+fraction).  The drivers print tables; this module renders the same
+series as terminal charts so trends are visible at a glance without
+matplotlib (not installed in the offline environment)::
+
+    Figure 10 - google (seconds, log scale)
+    29.356 |*
+           |
+           | o VCCE   * VCCE*
+     0.850 |*o . . o . o . o
+
+Charts are plain text: x positions map to the sorted x values, one
+symbol per series, y scaled linearly or logarithmically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+#: Symbols assigned to series in insertion order.
+_SYMBOLS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Series,
+    width: int = 60,
+    height: int = 12,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping series name -> list of (x, y) points.  All series share
+        the axes; x values need not align across series.
+    log_y:
+        Scale y logarithmically (the paper's timing figures do); all y
+        must be positive in that case (zeros are clamped to the minimum
+        positive value).
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+
+    if log_y:
+        positive = [y for y in ys if y > 0]
+        floor = min(positive) if positive else 1.0
+        ys = [max(y, floor) for y in ys]
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+    else:
+        transform = lambda y: y  # noqa: E731
+    ty = [transform(y) for y in ys]
+    y_lo, y_hi = min(ty), max(ty)
+
+    def col(x: float) -> int:
+        if x_hi == x_lo:
+            return 0
+        return round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(y: float) -> int:
+        t = transform(y)
+        if y_hi == y_lo:
+            return height - 1
+        return round((y_hi - t) / (y_hi - y_lo) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        symbol = _SYMBOLS[idx % len(_SYMBOLS)]
+        for x, y in pts:
+            r, c = row(y), col(x)
+            cell = grid[r][c]
+            grid[r][c] = "#" if cell not in (" ", symbol) else symbol
+
+    y_top = f"{max(ys):.3g}"
+    y_bot = f"{min(ys):.3g}"
+    label_width = max(len(y_top), len(y_bot))
+    lines = []
+    if title:
+        lines.append(title)
+    for r, cells in enumerate(grid):
+        if r == 0:
+            label = y_top.rjust(label_width)
+        elif r == height - 1:
+            label = y_bot.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(cells)}")
+    x_axis = " " * label_width + " +" + "-" * width
+    x_labels = (
+        " " * label_width
+        + f"  x: {x_lo:g} .. {x_hi:g}   "
+        + "  ".join(
+            f"{_SYMBOLS[i % len(_SYMBOLS)]}={name}"
+            for i, name in enumerate(series)
+        )
+    )
+    lines.append(x_axis)
+    lines.append(x_labels)
+    return "\n".join(lines)
+
+
+def chart_from_rows(
+    rows: Sequence[object],
+    x_attr: str,
+    y_attr: str,
+    series_attr: str,
+    **chart_kwargs,
+) -> str:
+    """Build a chart from experiment row objects (dataclass instances).
+
+    e.g. ``chart_from_rows(fig10_rows, "k", "seconds", "variant",
+    log_y=True)`` renders one timing panel of Figure 10.
+    """
+    series: Series = {}
+    for r in rows:
+        name = str(getattr(r, series_attr))
+        series.setdefault(name, []).append(
+            (float(getattr(r, x_attr)), float(getattr(r, y_attr)))
+        )
+    for pts in series.values():
+        pts.sort()
+    return ascii_chart(series, **chart_kwargs)

@@ -1,0 +1,93 @@
+"""Sweep-rule effectiveness: Table 2 (Section 6.2).
+
+Runs VCCE* over each dataset's k sweep and tallies, over all phase-1
+vertices encountered by GLOBAL-CUT*, the fraction skipped by
+
+* NS 1 - neighbor sweep rule 1 (strong side-vertex),
+* NS 2 - neighbor sweep rule 2 (vertex deposit),
+* GS   - group sweep (rules 1 and 2),
+
+versus the fraction actually tested ("Non-Pru").  The paper reports the
+average over k = 20..40; we average over the stand-in's scaled sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.kvcc import enumerate_kvccs
+from repro.core.stats import PRUNE_GS, PRUNE_NS1, PRUNE_NS2, RunStats
+from repro.core.variants import VARIANTS
+from repro.datasets.registry import (
+    EFFICIENCY_DATASETS,
+    load_dataset,
+    scaled_k_values,
+)
+from repro.experiments.tables import render_table
+
+
+@dataclass
+class PruneRow:
+    """Table 2's column for one dataset (averaged over the k sweep)."""
+
+    dataset: str
+    ns1: float
+    ns2: float
+    gs: float
+    non_pruned: float
+    phase1_vertices: int
+
+
+def run_prune_rules(
+    datasets: Sequence[str] = EFFICIENCY_DATASETS,
+    k_values: Optional[Dict[str, List[int]]] = None,
+    k_count: int = 5,
+) -> List[PruneRow]:
+    """Aggregate the per-rule pruning proportions per dataset."""
+    rows: List[PruneRow] = []
+    for name in datasets:
+        graph = load_dataset(name)
+        ks = (k_values or {}).get(name) or scaled_k_values(graph, k_count)
+        total = RunStats()
+        for k in ks:
+            stats = RunStats(k=k)
+            enumerate_kvccs(graph, k, VARIANTS["VCCE*"], stats)
+            total.merge(stats)
+        props = total.prune_proportions()
+        rows.append(
+            PruneRow(
+                dataset=name,
+                ns1=props[PRUNE_NS1],
+                ns2=props[PRUNE_NS2],
+                gs=props[PRUNE_GS],
+                non_pruned=props["non_pruned"],
+                phase1_vertices=total.phase1_total(),
+            )
+        )
+    return rows
+
+
+def format_prune_rules(rows: List[PruneRow]) -> str:
+    """Render Table 2: rules as rows, datasets as columns (paper layout)."""
+    headers = ["Rules", *(r.dataset for r in rows)]
+    def pct(x: float) -> str:
+        return f"{100 * x:.0f}%"
+
+    body = [
+        ["NS 1", *(pct(r.ns1) for r in rows)],
+        ["NS 2", *(pct(r.ns2) for r in rows)],
+        ["GS", *(pct(r.gs) for r in rows)],
+        ["Non-Pru", *(pct(r.non_pruned) for r in rows)],
+    ]
+    return render_table(headers, body)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI entry point: print this experiment's output."""
+    print("Table 2: proportion of phase-1 vertices per sweep rule")
+    print(format_prune_rules(run_prune_rules()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

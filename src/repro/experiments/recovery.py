@@ -1,0 +1,174 @@
+"""Community-recovery study (extension of the paper's motivation).
+
+The paper's introduction argues k-VCCs detect communities that k-core
+and k-ECC merge (the free-rider effect).  This extension experiment
+*quantifies* that claim on graphs with planted ground truth: generate a
+modular graph whose true communities are known, run the three models,
+and score each against the planted partition with set-matching
+precision / recall / F1.
+
+Scoring: each detected component is matched to the planted community
+maximizing Jaccard overlap; precision and recall are averaged over
+detections and communities respectively (standard set-matching
+community scoring).  Expected shape: F1(k-VCC) >= F1(k-ECC) >=
+F1(k-CC), with the gap widening as inter-community noise grows - the
+quantitative version of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from repro.baselines.kcore_cc import k_core_components
+from repro.baselines.kecc import k_ecc_components
+from repro.core.kvcc import kvcc_vertex_sets
+from repro.experiments.tables import render_table
+from repro.graph.generators import gnp_random_graph, assemble_communities
+from repro.graph.graph import Graph, Vertex
+
+
+@dataclass
+class RecoveryRow:
+    """Recovery quality of one model at one broker-strength level."""
+
+    broker_degree: int
+    model: str
+    detected: int
+    precision: float
+    recall: float
+    f1: float
+
+
+def planted_communities_graph(
+    communities: int = 6,
+    size: int = 40,
+    p_in: float = 0.35,
+    brokers: int = 3,
+    broker_degree: int = 4,
+    cross_edges: int = 3,
+    seed: int = 0,
+) -> (Graph, List[Set[Vertex]]):
+    """ER communities joined through shared *broker* vertices.
+
+    This is Figure 1's free-rider mechanism made parametric: ``brokers``
+    extra vertices each attach to ``broker_degree`` random members of
+    *every* community.  Inter-community **edge** connectivity is then
+    ``brokers * broker_degree`` (high - the k-ECC merges everything once
+    it reaches k), while inter-community **vertex** connectivity stays
+    at ``brokers`` (low - the k-VCC model cuts at the brokers whenever
+    ``brokers < k``).  A few random ``cross_edges`` add background
+    noise.
+
+    Returns the graph and the planted ground-truth vertex sets (the
+    communities; brokers belong to no ground-truth community).
+    """
+    import random as _random
+
+    parts = [
+        gnp_random_graph(size, p_in, seed=seed * 101 + i)
+        for i in range(communities)
+    ]
+    graph = assemble_communities(parts, cross_edges, seed=seed)
+    rng = _random.Random(seed * 7 + 5)
+    n = communities * size
+    for b in range(brokers):
+        broker = n + b
+        graph.add_vertex(broker)
+        for c in range(communities):
+            members = rng.sample(range(c * size, (c + 1) * size),
+                                 broker_degree)
+            for v in members:
+                graph.add_edge(broker, v)
+    truth = [
+        set(range(i * size, (i + 1) * size)) for i in range(communities)
+    ]
+    return graph, truth
+
+
+def jaccard(a: Set[Vertex], b: Set[Vertex]) -> float:
+    """Jaccard similarity of two vertex sets."""
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def match_score(
+    detected: Sequence[Set[Vertex]], truth: Sequence[Set[Vertex]]
+) -> tuple:
+    """Set-matching (precision, recall, f1) of detected vs planted.
+
+    Precision: average best-Jaccard of each detected set against the
+    truth; recall: average best-Jaccard of each true community against
+    the detections; F1: harmonic mean.  No detections scores (0, 0, 0).
+    """
+    if not detected:
+        return 0.0, 0.0, 0.0
+    precision = sum(
+        max(jaccard(d, t) for t in truth) for d in detected
+    ) / len(detected)
+    recall = sum(
+        max(jaccard(t, d) for d in detected) for t in truth
+    ) / len(truth)
+    if precision + recall == 0:
+        return 0.0, 0.0, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def run_recovery(
+    k: int = 6,
+    broker_degrees: Sequence[int] = (2, 4, 8),
+    seed: int = 1,
+) -> List[RecoveryRow]:
+    """Score the three models as the brokers get better connected.
+
+    The broker count stays below k, so the planted vertex cuts survive
+    at every level; the broker *degree* controls how early the edge- and
+    degree-based models collapse into one free-rider blob.
+    """
+    rows: List[RecoveryRow] = []
+    for degree in broker_degrees:
+        graph, truth = planted_communities_graph(
+            broker_degree=degree, seed=seed
+        )
+        models = {
+            "k-CC": k_core_components(graph, k),
+            "k-ECC": k_ecc_components(graph, k),
+            "k-VCC": kvcc_vertex_sets(graph, k),
+        }
+        for name, detected in models.items():
+            precision, recall, f1 = match_score(detected, truth)
+            rows.append(
+                RecoveryRow(
+                    broker_degree=degree,
+                    model=name,
+                    detected=len(detected),
+                    precision=precision,
+                    recall=recall,
+                    f1=f1,
+                )
+            )
+    return rows
+
+
+def format_recovery(rows: List[RecoveryRow]) -> str:
+    """Render the recovery table."""
+    return render_table(
+        ["broker degree", "model", "#detected", "precision", "recall", "F1"],
+        [
+            (r.broker_degree, r.model, r.detected, r.precision, r.recall,
+             r.f1)
+            for r in rows
+        ],
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI entry point: print this experiment's output."""
+    print("Community recovery vs planted ground truth (extension)")
+    print(format_recovery(run_recovery()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

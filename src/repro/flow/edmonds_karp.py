@@ -1,0 +1,70 @@
+"""Edmonds-Karp max-flow (BFS augmenting paths) - ablation comparator.
+
+Section 4.3 bounds LOC-CUT by ``O(min(n^1/2, k) * m)`` using Dinic-style
+phases (Even-Tarjan).  Because the flow value is capped at ``k`` anyway,
+plain BFS augmentation also runs in ``O(k * m)`` - at the small k the
+sweeps leave behind, the simpler engine is a legitimate contender.  The
+``bench_ablation_flow_engine`` benchmark compares the two; the library
+default remains Dinic.
+
+The function signature mirrors :func:`repro.flow.dinic.max_flow_min_k`
+so either engine can drive LOC-CUT.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.flow.flow_network import FlowNetwork
+
+
+def max_flow_min_k_ek(
+    net: FlowNetwork, source: int, sink: int, k: int
+) -> int:
+    """Max flow from ``source`` to ``sink`` capped at ``k`` (Edmonds-Karp).
+
+    Leaves the residual state in place for cut extraction, exactly like
+    the Dinic engine; reset the network before reuse.
+    """
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    flow = 0
+    parent_arc: List[int] = [-1] * net.num_nodes
+    cap = net.cap
+    head = net.head
+    adj = net.adj
+    while flow < k:
+        for i in range(net.num_nodes):
+            parent_arc[i] = -1
+        parent_arc[source] = -2  # sentinel: visited, no incoming arc
+        queue = deque([source])
+        found = False
+        while queue and not found:
+            u = queue.popleft()
+            for arc_id in adj[u]:
+                v = head[arc_id]
+                if cap[arc_id] > 0 and parent_arc[v] == -1:
+                    parent_arc[v] = arc_id
+                    if v == sink:
+                        found = True
+                        break
+                    queue.append(v)
+        if not found:
+            break
+        # Unit internal capacities make every augmenting path carry
+        # exactly one unit through at least one internal arc; still,
+        # compute the true bottleneck for generality.
+        bottleneck = k - flow
+        v = sink
+        while v != source:
+            arc_id = parent_arc[v]
+            bottleneck = min(bottleneck, cap[arc_id])
+            v = head[arc_id ^ 1]
+        v = sink
+        while v != source:
+            arc_id = parent_arc[v]
+            net.push(arc_id, bottleneck)
+            v = head[arc_id ^ 1]
+        flow += bottleneck
+    return flow

@@ -1,0 +1,129 @@
+"""Minimum u-v vertex cut extraction (LOC-CUT lines 14-17).
+
+After :func:`~repro.flow.dinic.max_flow_min_k` terminates with a flow
+value ``lambda < k``, the residual network encodes a minimum edge cut of
+the directed flow graph.  Because adjacency arcs carry capacity ``k``
+(more than the total flow) they can never be saturated, so every arc that
+crosses the cut is an internal arc ``w_in -> w_out`` - and those ``w``
+form a minimum u-v **vertex** cut of the original graph (Definition 5).
+
+The extraction is a single BFS over residual arcs from the source: the
+cut vertices are exactly the ``w`` whose ``w_in`` is reachable but
+``w_out`` is not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Set
+
+from repro.flow.dinic import max_flow_min_k
+from repro.flow.flow_network import FlowNetwork, build_flow_network
+from repro.graph.graph import Graph, Vertex
+
+
+def minimum_vertex_cut_from_residual(
+    net: FlowNetwork, source: int
+) -> Set[Vertex]:
+    """The vertex cut encoded by the current residual state.
+
+    Must be called after a max-flow run that terminated with value < k
+    (i.e. the sink is unreachable in the residual graph); otherwise the
+    returned set is meaningless.
+    """
+    reachable = _residual_reachable(net, source)
+    cut: Set[Vertex] = set()
+    # Internal arc of vertex index i is arc id 2i: i_in -> i_out.
+    for idx, vertex in enumerate(net.to_vertex):
+        node_in = 2 * idx
+        node_out = 2 * idx + 1
+        if node_in in reachable and node_out not in reachable:
+            cut.add(vertex)
+    return cut
+
+
+def local_vertex_cut(
+    graph: Graph,
+    net: FlowNetwork,
+    u: Vertex,
+    v: Vertex,
+    k: int,
+) -> Optional[Set[Vertex]]:
+    """LOC-CUT (Algorithm 2, lines 12-17): a u-v vertex cut of size < k.
+
+    Returns ``None`` when ``u ≡k v`` - that is, when ``v`` is ``u`` itself
+    or a neighbor of ``u`` (Lemma 5), or when the max flow reaches ``k``.
+    Otherwise returns a minimum u-v vertex cut, whose size equals the flow
+    value (< k).
+
+    The network's residual state is reset on exit, so the same ``net``
+    can serve the next query.
+    """
+    if u == v or graph.has_edge(u, v):
+        return None
+    source = net.node_out(u)
+    sink = net.node_in(v)
+    try:
+        flow = max_flow_min_k(net, source, sink, k)
+        if flow >= k:
+            return None
+        cut = minimum_vertex_cut_from_residual(net, source)
+    finally:
+        net.reset()
+    return cut
+
+
+def local_vertex_connectivity(graph: Graph, u: Vertex, v: Vertex, k: int) -> int:
+    """``min(kappa(u, v), k)`` computed from scratch (Definition 6).
+
+    Convenience wrapper used by tests and by the naive baseline; the
+    production path builds one network per GLOBAL-CUT call and reuses it.
+    Adjacent vertices have unbounded local connectivity in the vertex
+    sense (no u-v vertex cut exists), represented here as ``k``.
+    """
+    if u == v:
+        raise ValueError("local connectivity of a vertex with itself")
+    if graph.has_edge(u, v):
+        return k
+    net = build_flow_network(graph, k)
+    return max_flow_min_k(net, net.node_out(u), net.node_in(v), k)
+
+
+def _residual_reachable(net: FlowNetwork, source: int) -> Set[int]:
+    """Nodes reachable from ``source`` through arcs with residual capacity."""
+    seen: Set[int] = {source}
+    queue = deque([source])
+    cap = net.cap
+    head = net.head
+    adj = net.adj
+    while queue:
+        u = queue.popleft()
+        for arc_id in adj[u]:
+            if cap[arc_id] > 0:
+                w = head[arc_id]
+                if w not in seen:
+                    seen.add(w)
+                    queue.append(w)
+    return seen
+
+
+def all_pairs_min_connectivity(graph: Graph, k: int) -> int:
+    """``min over non-adjacent pairs of kappa(u, v)``, capped at ``k``.
+
+    Exhaustive helper used only by tests on tiny graphs (this is the
+    definitionally correct but quadratic way to get kappa(G) for
+    incomplete graphs).
+    """
+    vertices: List[Vertex] = list(graph.vertices())
+    best = k
+    net = build_flow_network(graph, k)
+    for i, u in enumerate(vertices):
+        for v in vertices[i + 1 :]:
+            if graph.has_edge(u, v):
+                continue
+            flow = max_flow_min_k(net, net.node_out(u), net.node_in(v), k)
+            net.reset()
+            best = min(best, flow)
+            if best == 0:
+                return 0
+    return best

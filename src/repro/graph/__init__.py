@@ -1,0 +1,80 @@
+"""Graph substrate: data structure, IO, generators, metrics, k-core.
+
+This subpackage is the foundation every other part of the library builds
+on.  It provides a compact adjacency-set :class:`~repro.graph.graph.Graph`,
+traversal and component utilities, the cohesion metrics used by the paper's
+effectiveness study (diameter, edge density, clustering coefficient), the
+k-core peeling used as a pre-filter by ``KVCC-ENUM``, and seeded synthetic
+graph generators used as dataset stand-ins.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.connectivity import (
+    bfs_distances,
+    bfs_order,
+    connected_components,
+    is_connected,
+)
+from repro.graph.core_decomposition import core_number, k_core
+from repro.graph.metrics import (
+    average_clustering_coefficient,
+    clustering_coefficient,
+    diameter,
+    edge_density,
+    graph_summary,
+)
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    citation_graph,
+    clique_membership_for_chain,
+    collaboration_graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    modular_graph,
+    overlapping_cliques_graph,
+    planted_kvcc_graph,
+    planted_partition_graph,
+    ring_of_cliques,
+    web_graph,
+)
+from repro.graph.io import (
+    read_edge_list,
+    read_snap_file,
+    write_edge_list,
+)
+
+__all__ = [
+    "Graph",
+    "bfs_distances",
+    "bfs_order",
+    "connected_components",
+    "is_connected",
+    "core_number",
+    "k_core",
+    "average_clustering_coefficient",
+    "clustering_coefficient",
+    "diameter",
+    "edge_density",
+    "graph_summary",
+    "barabasi_albert_graph",
+    "citation_graph",
+    "clique_membership_for_chain",
+    "collaboration_graph",
+    "complete_graph",
+    "cycle_graph",
+    "figure1_graph",
+    "gnm_random_graph",
+    "gnp_random_graph",
+    "modular_graph",
+    "overlapping_cliques_graph",
+    "planted_kvcc_graph",
+    "planted_partition_graph",
+    "ring_of_cliques",
+    "web_graph",
+    "read_edge_list",
+    "read_snap_file",
+    "write_edge_list",
+]

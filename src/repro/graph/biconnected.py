@@ -1,0 +1,102 @@
+"""Biconnected components and articulation points (Hopcroft-Tarjan).
+
+The ``k = 2`` special case of the paper's problem has a classical
+linear-time solution: the biconnected components of a graph are its
+maximal 2-connected subgraphs, so the 2-VCCs are exactly the
+biconnected components with at least three vertices.  This module
+implements the iterative Hopcroft-Tarjan DFS and serves two roles:
+
+* a fast path for ``k = 2`` queries on big graphs;
+* an *independent* oracle for the flow-based enumeration - the test
+  suite checks ``enumerate_kvccs(g, 2)`` against
+  :func:`biconnected_components` on random graphs, and the two share no
+  code beyond the Graph class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.graph import Graph, Vertex
+
+Edge = Tuple[Vertex, Vertex]
+
+
+def biconnected_components(graph: Graph) -> List[Set[Vertex]]:
+    """All biconnected components, as vertex sets.
+
+    A bridge edge forms a 2-vertex component; isolated vertices belong
+    to no component.  Iterative DFS, O(n + m).
+    """
+    index: Dict[Vertex, int] = {}
+    low: Dict[Vertex, int] = {}
+    components: List[Set[Vertex]] = []
+    edge_stack: List[Edge] = []
+    counter = 0
+
+    for root in graph.vertices():
+        if root in index:
+            continue
+        # Each stack frame: (vertex, parent, iterator over neighbors).
+        index[root] = low[root] = counter
+        counter += 1
+        stack = [(root, None, iter(graph.neighbors(root)))]
+        while stack:
+            v, parent, nbrs = stack[-1]
+            advanced = False
+            for w in nbrs:
+                if w == parent:
+                    continue
+                if w not in index:
+                    edge_stack.append((v, w))
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append((w, v, iter(graph.neighbors(w))))
+                    advanced = True
+                    break
+                if index[w] < index[v]:
+                    # Back edge to an ancestor.
+                    edge_stack.append((v, w))
+                    if index[w] < low[v]:
+                        low[v] = index[w]
+            if advanced:
+                continue
+            stack.pop()
+            if not stack:
+                continue
+            u = stack[-1][0]  # v's DFS parent
+            if low[v] < low[u]:
+                low[u] = low[v]
+            if low[v] >= index[u]:
+                # u is an articulation point (or the root): the edges
+                # pushed since the tree edge (u, v) - inclusive - form
+                # one biconnected component.
+                component: Set[Vertex] = set()
+                while True:
+                    edge = edge_stack.pop()
+                    component.update(edge)
+                    if edge == (u, v):
+                        break
+                components.append(component)
+    return components
+
+
+def articulation_points(graph: Graph) -> Set[Vertex]:
+    """Vertices whose removal increases the number of components.
+
+    Derived from the component structure: a vertex is an articulation
+    point iff it belongs to at least two biconnected components.
+    """
+    seen_in: Dict[Vertex, int] = {}
+    for component in biconnected_components(graph):
+        for v in component:
+            seen_in[v] = seen_in.get(v, 0) + 1
+    return {v for v, count in seen_in.items() if count > 1}
+
+
+def two_vccs(graph: Graph) -> List[Set[Vertex]]:
+    """The 2-VCCs of the graph: biconnected components with > 2 vertices.
+
+    Exactly what ``enumerate_kvccs(graph, 2)`` returns, in linear time.
+    """
+    return [c for c in biconnected_components(graph) if len(c) > 2]

@@ -1,0 +1,488 @@
+"""Seeded synthetic graph generators.
+
+Two roles:
+
+1. **Ground-truth workloads for tests.**  :func:`planted_kvcc_graph` and
+   :func:`figure1_graph` build graphs whose exact k-VCC decomposition is
+   known by construction, so the enumeration algorithms can be checked
+   end-to-end without an oracle.
+2. **Dataset stand-ins.**  The paper evaluates on seven SNAP graphs that
+   are not available offline; :mod:`repro.datasets.registry` composes the
+   generators here (power-law webs, collaboration clique-bags, planted
+   partitions) into scaled-down analogs with matching structural flavor.
+
+Every generator takes a ``seed`` and is fully deterministic for a given
+seed, so experiments are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.graph.graph import Graph
+
+
+def complete_graph(n: int, offset: int = 0) -> Graph:
+    """The complete graph ``K_n`` on vertices ``offset .. offset+n-1``."""
+    g = Graph(vertices=range(offset, offset + n))
+    for i in range(offset, offset + n):
+        for j in range(i + 1, offset + n):
+            g.add_edge(i, j)
+    return g
+
+
+def cycle_graph(n: int, offset: int = 0) -> Graph:
+    """The cycle ``C_n`` (requires ``n >= 3``)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    g = Graph(vertices=range(offset, offset + n))
+    for i in range(n):
+        g.add_edge(offset + i, offset + (i + 1) % n)
+    return g
+
+
+def gnp_random_graph(n: int, p: float, seed: int = 0) -> Graph:
+    """Erdos-Renyi ``G(n, p)``: each possible edge present independently."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Uniform random graph with exactly ``n`` vertices and ``m`` edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"cannot place {m} edges on {n} vertices")
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    while g.num_edges < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def barabasi_albert_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Preferential attachment (Barabasi-Albert) with ``m`` edges per newcomer.
+
+    Starts from a star on ``m + 1`` vertices; each subsequent vertex
+    attaches to ``m`` distinct existing vertices chosen proportionally to
+    degree (implemented with the standard repeated-endpoint urn).
+    """
+    if m < 1 or n <= m:
+        raise ValueError(f"need 1 <= m < n, got n={n} m={m}")
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    # Urn of endpoints; each edge contributes both endpoints, making draws
+    # proportional to degree.
+    urn: List[int] = []
+    for v in range(1, m + 1):
+        g.add_edge(0, v)
+        urn += [0, v]
+    for v in range(m + 1, n):
+        targets: Set[int] = set()
+        while len(targets) < m:
+            targets.add(urn[rng.randrange(len(urn))])
+        for t in targets:
+            g.add_edge(v, t)
+            urn += [v, t]
+    return g
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> Graph:
+    """``num_cliques`` disjoint cliques joined in a ring by single edges.
+
+    A classic free-rider-effect witness: for ``k <= clique_size - 1`` the
+    k-VCCs are exactly the cliques, while the k-core is the whole ring.
+    """
+    if num_cliques < 2 or clique_size < 2:
+        raise ValueError("need at least 2 cliques of size >= 2")
+    g = Graph()
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(base, base + clique_size):
+            for j in range(i + 1, base + clique_size):
+                g.add_edge(i, j)
+    for c in range(num_cliques):
+        u = c * clique_size  # first vertex of clique c
+        v = ((c + 1) % num_cliques) * clique_size + 1
+        g.add_edge(u, v)
+    return g
+
+
+def overlapping_cliques_graph(
+    clique_size: int, num_cliques: int, overlap: int
+) -> Graph:
+    """A chain of cliques where consecutive cliques share ``overlap`` vertices.
+
+    With ``overlap < k <= clique_size - 1`` the k-VCCs are exactly the
+    cliques (the shared vertices form a < k cut), which exercises the
+    overlapped-partition path of KVCC-ENUM: shared vertices belong to two
+    k-VCCs, exactly like vertices ``a, b`` of Figure 1.
+    """
+    if overlap >= clique_size:
+        raise ValueError("overlap must be smaller than the clique size")
+    g = Graph()
+    # Vertices are assigned so that the last `overlap` vertices of clique i
+    # are the first `overlap` vertices of clique i+1.
+    stride = clique_size - overlap
+    for c in range(num_cliques):
+        base = c * stride
+        members = list(range(base, base + clique_size))
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                g.add_edge(u, v)
+    return g
+
+
+def clique_membership_for_chain(
+    clique_size: int, num_cliques: int, overlap: int
+) -> List[Set[int]]:
+    """Ground-truth vertex sets for :func:`overlapping_cliques_graph`."""
+    stride = clique_size - overlap
+    return [
+        set(range(c * stride, c * stride + clique_size))
+        for c in range(num_cliques)
+    ]
+
+
+def planted_kvcc_graph(
+    k: int,
+    num_blocks: int,
+    block_size: int,
+    overlap: int = 0,
+    bridge_edges: int = 0,
+    seed: int = 0,
+) -> Tuple[Graph, List[Set[int]]]:
+    """A graph with known k-VCCs: cliques loosely glued together.
+
+    Returns ``(graph, blocks)`` where ``blocks`` is the exact expected
+    ``VCC_k`` as a list of vertex sets.
+
+    Construction: ``num_blocks`` cliques of ``block_size >= k + 1``
+    vertices.  Consecutive blocks share ``overlap`` vertices and are
+    additionally joined by ``bridge_edges`` single edges between random
+    non-shared vertices.  Separating two consecutive blocks requires
+    removing all shared vertices plus one endpoint per bridge, so the
+    generator enforces ``overlap + bridge_edges < k`` - that keeps a
+    < k cut between every pair of blocks, making the k-VCCs exactly the
+    cliques:
+
+    * each clique is (block_size - 1)-connected, hence k-connected;
+    * a clique plus any outside vertex ``x`` gives ``x`` fewer than k
+      neighbors inside, so ``N(x)`` is a < k cut - maximality holds.
+    """
+    if block_size < k + 1:
+        raise ValueError("blocks must have at least k + 1 vertices")
+    if overlap + bridge_edges >= k:
+        raise ValueError(
+            "overlap + bridge_edges must be < k to keep blocks separate"
+        )
+    rng = random.Random(seed)
+    g = Graph()
+    blocks: List[Set[int]] = []
+    stride = block_size - overlap
+    for b in range(num_blocks):
+        base = b * stride
+        members = list(range(base, base + block_size))
+        blocks.append(set(members))
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                g.add_edge(u, v)
+    # Thin bridges between non-consecutive blocks: endpoints chosen away
+    # from the shared regions so no accidental k-connectivity arises.
+    for b in range(num_blocks - 1):
+        for _ in range(bridge_edges):
+            u = rng.choice(sorted(blocks[b] - blocks[b + 1]))
+            v = rng.choice(sorted(blocks[b + 1] - blocks[b]))
+            g.add_edge(u, v)
+    return g, blocks
+
+
+def figure1_graph() -> Tuple[Graph, Dict[str, Set[int]]]:
+    """The motivating example of Figure 1, with K6 blocks and k = 4.
+
+    Returns the graph plus the named blocks.  Ground truth for k = 4:
+
+    * 4-VCCs: ``G1``, ``G2``, ``G3``, ``G4``;
+    * 4-ECCs: ``G1 ∪ G2 ∪ G3`` and ``G4`` (G3-G4 joined by 2 edges only);
+    * 4-core: the whole graph (one component).
+
+    ``G1`` and ``G2`` share the edge ``(a, b)``; ``G2`` and ``G3`` share
+    the single vertex ``c``; ``G3`` and ``G4`` are vertex-disjoint but
+    joined by two independent edges.
+    """
+    # G1: vertices 0-5, with a=4, b=5.
+    # G2: vertices 4-9 (shares 4=a, 5=b), with c=9.
+    # G3: vertices 9-14 (shares 9=c).
+    # G4: vertices 15-20.
+    g = Graph()
+    blocks = {
+        "G1": set(range(0, 6)),
+        "G2": set(range(4, 10)),
+        "G3": set(range(9, 15)),
+        "G4": set(range(15, 21)),
+    }
+    for members in blocks.values():
+        ordered = sorted(members)
+        for i, u in enumerate(ordered):
+            for v in ordered[i + 1 :]:
+                g.add_edge(u, v)
+    # Two independent edges joining G3 and G4.
+    g.add_edge(10, 15)
+    g.add_edge(11, 16)
+    return g, blocks
+
+
+def planted_partition_graph(
+    communities: int,
+    size: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> Graph:
+    """Planted-partition model: dense blocks, sparse cross edges.
+
+    Used by the social-network stand-ins; unlike :func:`planted_kvcc_graph`
+    the blocks are random (not cliques), so the k-VCC structure is
+    non-trivial and must be computed, which is exactly what the timing
+    experiments need.
+    """
+    rng = random.Random(seed)
+    n = communities * size
+    g = Graph(vertices=range(n))
+    for i in range(n):
+        ci = i // size
+        for j in range(i + 1, n):
+            cj = j // size
+            p = p_in if ci == cj else p_out
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+def collaboration_graph(
+    num_authors: int,
+    num_papers: int,
+    mean_paper_size: float = 3.0,
+    hotness: float = 1.5,
+    seed: int = 0,
+) -> Graph:
+    """A DBLP-style co-authorship graph: a bag of small cliques.
+
+    Each paper picks a Zipf-weighted team of authors and forms a clique.
+    Produces many overlapping dense pockets with power-law degrees and a
+    high clustering coefficient, the signature of collaboration networks.
+    """
+    import bisect
+    import itertools
+
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) ** hotness for i in range(num_authors)]
+    cumulative = list(itertools.accumulate(weights))
+    total = cumulative[-1]
+    g = Graph(vertices=range(num_authors))
+    for _ in range(num_papers):
+        team_size = max(2, int(rng.expovariate(1.0 / mean_paper_size)) + 1)
+        team_size = min(team_size, 8, num_authors)
+        team = set()
+        while len(team) < team_size:
+            team.add(bisect.bisect_left(cumulative, rng.random() * total))
+        members = sorted(team)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                g.add_edge(u, v)
+    return g
+
+
+def web_graph(
+    n: int,
+    out_degree: int = 5,
+    copy_prob: float = 0.6,
+    seed: int = 0,
+) -> Graph:
+    """A web-like graph via the copying model (Kleinberg et al.).
+
+    Each new page links to ``out_degree`` targets; with probability
+    ``copy_prob`` a target is copied from a random earlier page's links
+    (creating hubs and dense cores), otherwise chosen uniformly.  Produces
+    heavy-tailed degrees and dense local clusters like the Stanford / ND /
+    Cnr / Google crawls.
+    """
+    if n <= out_degree + 1:
+        raise ValueError("need n > out_degree + 1")
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    links: List[List[int]] = [[] for _ in range(n)]
+    # Seed nucleus: a small clique so early copies have something to copy.
+    nucleus = out_degree + 1
+    for i in range(nucleus):
+        for j in range(i + 1, nucleus):
+            g.add_edge(i, j)
+            links[i].append(j)
+            links[j].append(i)
+    for v in range(nucleus, n):
+        prototype = rng.randrange(v)
+        targets: Set[int] = set()
+        while len(targets) < out_degree:
+            if links[prototype] and rng.random() < copy_prob:
+                t = rng.choice(links[prototype])
+            else:
+                t = rng.randrange(v)
+            if t != v:
+                targets.add(t)
+        for t in targets:
+            g.add_edge(v, t)
+            links[v].append(t)
+            links[t].append(v)
+    return g
+
+
+def modular_graph(
+    num_communities: int,
+    community_size: int,
+    inner: str = "web",
+    cross_edges_per_community: int = 3,
+    seed: int = 0,
+    **inner_kwargs,
+) -> Graph:
+    """Communities of a given flavor, loosely joined by random cross edges.
+
+    Real web/social/citation networks are modular: dense regions joined
+    by thin connections.  The single-mechanism generators above tend to
+    produce one giant k-connected core at moderate k; this wrapper
+    restores the modular structure so the k-VCC decomposition is
+    non-trivial (many components, overlap, free-rider chains), matching
+    the regime the paper's Figure 11 reports.
+
+    Parameters
+    ----------
+    inner:
+        Community mechanism: ``"web"`` (copying model), ``"social"``
+        (Erdos-Renyi), ``"collab"`` (clique bag), ``"citation"``, or
+        ``"clique"``.
+    cross_edges_per_community:
+        Number of random inter-community edges contributed per community
+        (endpoints uniform over distinct communities).  Keep this small
+        relative to k so communities stay separable.
+    inner_kwargs:
+        Passed to the community generator (e.g. ``out_degree`` for web).
+    """
+    rng = random.Random(seed)
+    g = Graph()
+    offsets: List[int] = []
+    for c in range(num_communities):
+        offset = c * community_size
+        offsets.append(offset)
+        part = _build_community(
+            inner, community_size, seed=seed * 7919 + c, **inner_kwargs
+        )
+        for v in part.vertices():
+            g.add_vertex(v + offset)
+        for u, v in part.edges():
+            g.add_edge(u + offset, v + offset)
+    total_cross = cross_edges_per_community * num_communities
+    added = 0
+    while added < total_cross:
+        ca, cb = rng.sample(range(num_communities), 2)
+        u = offsets[ca] + rng.randrange(community_size)
+        v = offsets[cb] + rng.randrange(community_size)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return g
+
+
+def assemble_communities(
+    parts: List[Graph], cross_edges: int, seed: int = 0
+) -> Graph:
+    """Union prebuilt community graphs plus random inter-community edges.
+
+    Each part is relabeled onto a disjoint integer range (in input
+    order); ``cross_edges`` random edges are then added between distinct
+    communities.  This is the low-level assembly behind the dataset
+    stand-ins: real networks have communities of *heterogeneous* density,
+    which is what makes the number of k-VCCs decrease gradually with k
+    (Figure 11) instead of collapsing at a single threshold.
+    """
+    if len(parts) < 2:
+        raise ValueError("need at least two communities")
+    rng = random.Random(seed)
+    g = Graph()
+    ranges: List[Tuple[int, int]] = []  # (offset, size) per community
+    offset = 0
+    for part in parts:
+        mapping = {v: offset + i for i, v in enumerate(sorted(part.vertices()))}
+        for v in mapping.values():
+            g.add_vertex(v)
+        for u, v in part.edges():
+            g.add_edge(mapping[u], mapping[v])
+        ranges.append((offset, part.num_vertices))
+        offset += part.num_vertices
+    added = 0
+    while added < cross_edges:
+        (oa, sa), (ob, sb) = rng.sample(ranges, 2)
+        u = oa + rng.randrange(sa)
+        v = ob + rng.randrange(sb)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    return g
+
+
+def _build_community(kind: str, size: int, seed: int, **kwargs) -> Graph:
+    """One community for :func:`modular_graph`."""
+    if kind == "web":
+        out_degree = kwargs.get("out_degree", 6)
+        return web_graph(size, out_degree=out_degree,
+                         copy_prob=kwargs.get("copy_prob", 0.6), seed=seed)
+    if kind == "social":
+        p = kwargs.get("p", 0.08)
+        return gnp_random_graph(size, p, seed=seed)
+    if kind == "collab":
+        papers = kwargs.get("papers", size * 2)
+        return collaboration_graph(size, papers, seed=seed)
+    if kind == "citation":
+        refs = kwargs.get("refs", 4)
+        return citation_graph(size, refs=refs, seed=seed)
+    if kind == "clique":
+        return complete_graph(size)
+    raise ValueError(f"unknown community kind {kind!r}")
+
+
+def citation_graph(n: int, refs: int = 4, seed: int = 0) -> Graph:
+    """A citation-style graph: newcomers cite earlier vertices.
+
+    Mixes preferential attachment with recency bias; low clustering and
+    moderate density, like the Cit-Patents style network in Table 1.
+    """
+    if n <= refs + 1:
+        raise ValueError("need n > refs + 1")
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n))
+    urn: List[int] = list(range(refs + 1))
+    for i in range(refs + 1):
+        for j in range(i + 1, refs + 1):
+            g.add_edge(i, j)
+    for v in range(refs + 1, n):
+        targets: Set[int] = set()
+        while len(targets) < refs:
+            if rng.random() < 0.5:
+                targets.add(urn[rng.randrange(len(urn))])  # preferential
+            else:
+                lo = max(0, v - 200)
+                targets.add(rng.randrange(lo, v))  # recent
+        for t in targets:
+            g.add_edge(v, t)
+            urn += [v, t]
+    return g
+
+

@@ -1,0 +1,103 @@
+"""Reading and writing edge lists (including the SNAP text format).
+
+The paper's seven datasets are SNAP downloads: whitespace-separated
+``u v`` pairs, ``#`` comment lines, sometimes directed (we symmetrize).
+The library has no network access, so the experiment drivers use the
+synthetic stand-ins from :mod:`repro.datasets.registry`; this module
+exists so a user *with* the real files can reproduce on them directly::
+
+    from repro.graph import read_snap_file
+    g = read_snap_file("web-Stanford.txt")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.graph.graph import Edge, Graph
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(
+    path: PathLike,
+    comment: str = "#",
+    directed: bool = False,
+) -> Graph:
+    """Read a whitespace-separated edge list into a :class:`Graph`.
+
+    Vertices are parsed as ``int`` when possible, else kept as strings.
+    Self loops are skipped (the library's graphs are simple); for
+    ``directed`` inputs each arc is added as an undirected edge, which is
+    how the paper treats the directed SNAP web/citation graphs.
+
+    Parameters
+    ----------
+    comment:
+        Lines starting with this prefix are ignored.
+    directed:
+        Accepted for documentation purposes; symmetrization is implicit
+        because :class:`Graph` is undirected.
+    """
+    del directed  # symmetrization is implicit for an undirected Graph
+    g = Graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+            if u != v:
+                g.add_edge(u, v)
+    return g
+
+
+def read_snap_file(path: PathLike) -> Graph:
+    """Read a SNAP-format graph (``#`` comments, tab-separated arcs)."""
+    return read_edge_list(path, comment="#", directed=True)
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
+    """Write the graph as a ``u v`` edge list (one edge per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            handle.write(
+                f"# undirected graph: {graph.num_vertices} vertices, "
+                f"{graph.num_edges} edges\n"
+            )
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def graph_from_lines(lines: Iterable[str], comment: str = "#") -> Graph:
+    """Parse an in-memory iterable of edge-list lines (used by tests)."""
+    g = Graph()
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith(comment):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed edge line: {line!r}")
+        u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def edges_to_lines(edges: Iterable[Edge]) -> Iterable[str]:
+    """Render edges as text lines (inverse of :func:`graph_from_lines`)."""
+    for u, v in edges:
+        yield f"{u} {v}"
+
+
+def _parse_vertex(token: str):
+    """Parse a vertex token: int if it looks like one, else the raw string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token

@@ -1,0 +1,54 @@
+"""Relabeling helpers and lightweight graph views.
+
+The flow package and several experiment drivers want vertices as dense
+integer indices ``0..n-1``; user graphs may have arbitrary hashable
+labels.  These helpers convert back and forth without touching the
+original graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.graph import Graph, Vertex
+
+
+def dense_index(graph: Graph) -> Tuple[Dict[Vertex, int], List[Vertex]]:
+    """A bijection vertex <-> dense index.
+
+    Returns ``(to_index, to_vertex)`` where ``to_index[v]`` is the dense
+    id of ``v`` and ``to_vertex[i]`` inverts it.  Order follows the
+    graph's (deterministic) vertex iteration order.
+    """
+    to_vertex = list(graph.vertices())
+    to_index = {v: i for i, v in enumerate(to_vertex)}
+    return to_index, to_vertex
+
+
+def relabel(graph: Graph, mapping: Dict[Vertex, Vertex]) -> Graph:
+    """A copy of ``graph`` with every vertex renamed through ``mapping``.
+
+    Raises
+    ------
+    ValueError
+        If the mapping is not injective on the graph's vertices (two
+        vertices would collapse into one, silently altering structure).
+    """
+    image = [mapping[v] for v in graph.vertices()]
+    if len(set(image)) != len(image):
+        raise ValueError("relabel mapping is not injective")
+    out = Graph(vertices=image)
+    for u, v in graph.edges():
+        out.add_edge(mapping[u], mapping[v])
+    return out
+
+
+def canonical_form(graph: Graph) -> Graph:
+    """Relabel vertices to ``0..n-1`` following sorted label order.
+
+    Only defined for graphs whose labels are mutually comparable; used by
+    tests to compare graphs produced through different code paths.
+    """
+    ordered = sorted(graph.vertices())
+    mapping = {v: i for i, v in enumerate(ordered)}
+    return relabel(graph, mapping)

@@ -1,0 +1,198 @@
+"""Tests for the baselines: k-core components, Stoer-Wagner, k-ECC, naive."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.kcore_cc import k_core_components
+from repro.baselines.kecc import k_ecc_components
+from repro.baselines.naive import (
+    brute_force_cut,
+    naive_is_k_connected,
+    naive_kvccs,
+)
+from repro.baselines.stoer_wagner import edge_cut_below, global_min_edge_cut
+from repro.graph.connectivity import is_vertex_cut
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    ring_of_cliques,
+)
+from repro.graph.graph import Graph
+
+from conftest import random_connected_graph, vertex_set_family
+
+
+class TestKCoreComponents:
+    def test_figure1_single_component(self, figure1):
+        g, _ = figure1
+        comps = k_core_components(g, 4)
+        assert len(comps) == 1
+        assert comps[0] == g.vertex_set()
+
+    def test_ring_splits_at_high_k(self):
+        g = ring_of_cliques(3, 5)
+        assert len(k_core_components(g, 4)) == 1  # ring edges keep it whole
+        assert k_core_components(g, 5) == []
+
+    def test_pendant_removed(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        comps = k_core_components(g, 2)
+        assert comps == [{0, 1, 2}]
+
+
+class TestStoerWagner:
+    def test_matches_networkx(self):
+        for seed in range(20):
+            g = random_connected_graph(10, 0.4, seed=seed)
+            weight, side = global_min_edge_cut(g)
+            expected, _ = nx.stoer_wagner(g.to_networkx())
+            assert weight == expected
+            assert 0 < len(side) < g.num_vertices
+
+    def test_side_is_a_cut(self):
+        for seed in range(10):
+            g = random_connected_graph(9, 0.5, seed=seed + 40)
+            weight, side = global_min_edge_cut(g)
+            crossing = sum(
+                1 for u, v in g.edges() if (u in side) != (v in side)
+            )
+            assert crossing == weight
+
+    def test_single_vertex_raises(self):
+        with pytest.raises(ValueError):
+            global_min_edge_cut(Graph(vertices=[1]))
+
+    def test_cycle(self):
+        weight, _ = global_min_edge_cut(cycle_graph(7))
+        assert weight == 2
+
+    def test_complete(self):
+        weight, _ = global_min_edge_cut(complete_graph(5))
+        assert weight == 4
+
+    def test_edge_cut_below_none_when_k_connected(self):
+        assert edge_cut_below(complete_graph(5), 4) is None
+
+    def test_edge_cut_below_found(self):
+        g = cycle_graph(8)
+        side = edge_cut_below(g, 3)
+        assert side is not None
+        crossing = sum(
+            1 for u, v in g.edges() if (u in side) != (v in side)
+        )
+        assert crossing < 3
+
+
+class TestKECC:
+    def test_invalid_k(self, triangle):
+        with pytest.raises(ValueError):
+            k_ecc_components(triangle, 0)
+
+    def test_k1_components(self):
+        g = Graph([(0, 1), (2, 3)], vertices=[9])
+        assert vertex_set_family(k_ecc_components(g, 1)) == {
+            frozenset({0, 1}), frozenset({2, 3})
+        }
+
+    def test_figure1(self, figure1):
+        """4-ECCs of Figure 1: G1 ∪ G2 ∪ G3 and G4 (paper, Section 1)."""
+        g, blocks = figure1
+        got = vertex_set_family(k_ecc_components(g, 4))
+        want = {
+            frozenset(blocks["G1"] | blocks["G2"] | blocks["G3"]),
+            frozenset(blocks["G4"]),
+        }
+        assert got == want
+
+    def test_components_are_k_edge_connected(self):
+        for seed in range(12):
+            g = gnp_random_graph(11, 0.4, seed=seed)
+            for k in (2, 3):
+                for comp in k_ecc_components(g, k):
+                    sub = g.induced_subgraph(comp).to_networkx()
+                    assert nx.edge_connectivity(sub) >= k
+
+    def test_components_disjoint(self):
+        for seed in range(8):
+            g = gnp_random_graph(12, 0.45, seed=seed + 20)
+            for k in (2, 3):
+                comps = k_ecc_components(g, k)
+                seen = set()
+                for comp in comps:
+                    assert not (comp & seen)
+                    seen |= comp
+
+    def test_maximality(self):
+        """No two k-ECCs can be merged into a k-edge-connected subgraph,
+        and no vertex outside can be added.  Checked against the
+        brute-force maximal decomposition on small graphs."""
+        for seed in range(8):
+            g = random_connected_graph(9, 0.45, seed=seed + 70)
+            k = 2
+            ours = vertex_set_family(k_ecc_components(g, k))
+            # Brute-force: iterate all maximal vertex sets via networkx's
+            # bridge decomposition equivalent - recompute with a different
+            # mechanism: repeatedly split on the global min cut.
+            def decompose(sub_vertices):
+                sub = g.induced_subgraph(sub_vertices)
+                if sub.num_vertices < 2:
+                    return []
+                from repro.graph.connectivity import connected_components
+
+                comps = connected_components(sub)
+                if len(comps) > 1:
+                    out = []
+                    for c in comps:
+                        out += decompose(c)
+                    return out
+                weight, side = global_min_edge_cut(sub)
+                if weight >= k:
+                    return [frozenset(sub_vertices)]
+                return decompose(side) + decompose(
+                    set(sub_vertices) - side
+                )
+
+            theirs = {
+                s for s in decompose(g.vertex_set()) if len(s) >= 2
+            }
+            assert ours == theirs
+
+
+class TestNaive:
+    def test_brute_force_cut_cycle(self):
+        cut = brute_force_cut(cycle_graph(6), 3)
+        assert cut is not None and len(cut) == 2
+        assert is_vertex_cut(cycle_graph(6), cut)
+
+    def test_brute_force_cut_complete(self):
+        assert brute_force_cut(complete_graph(5), 4) is None
+
+    def test_brute_force_finds_minimum(self, path4):
+        cut = brute_force_cut(path4, 3)
+        assert cut is not None and len(cut) == 1
+
+    def test_naive_is_k_connected(self, k5):
+        assert naive_is_k_connected(k5, 4)
+        assert not naive_is_k_connected(k5, 5)
+        assert not naive_is_k_connected(Graph([(0, 1), (2, 3)]), 1)
+
+    def test_naive_kvccs_figure1(self, figure1):
+        g, blocks = figure1
+        assert vertex_set_family(naive_kvccs(g, 4)) == vertex_set_family(
+            blocks.values()
+        )
+
+    def test_naive_invalid_k(self, triangle):
+        with pytest.raises(ValueError):
+            naive_kvccs(triangle, 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_stoer_wagner_property(seed):
+    g = random_connected_graph(8, 0.5, seed=seed)
+    weight, side = global_min_edge_cut(g)
+    expected, _ = nx.stoer_wagner(g.to_networkx())
+    assert weight == expected

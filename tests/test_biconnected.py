@@ -1,0 +1,102 @@
+"""Tests for Hopcroft-Tarjan biconnected components."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kvcc import kvcc_vertex_sets
+from repro.graph.biconnected import (
+    articulation_points,
+    biconnected_components,
+    two_vccs,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+)
+from repro.graph.graph import Graph
+
+from conftest import vertex_set_family
+
+
+class TestBiconnectedComponents:
+    def test_empty(self):
+        assert biconnected_components(Graph()) == []
+
+    def test_single_edge(self):
+        comps = biconnected_components(Graph([(0, 1)]))
+        assert comps == [{0, 1}]
+
+    def test_triangle(self, triangle):
+        assert biconnected_components(triangle) == [{0, 1, 2}]
+
+    def test_path_gives_edges(self, path4):
+        comps = vertex_set_family(biconnected_components(path4))
+        assert comps == {
+            frozenset({0, 1}), frozenset({1, 2}), frozenset({2, 3})
+        }
+
+    def test_two_triangles_shared_vertex(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+        comps = vertex_set_family(biconnected_components(g))
+        assert comps == {frozenset({0, 1, 2}), frozenset({2, 3, 4})}
+
+    def test_cycle_single_component(self):
+        assert biconnected_components(cycle_graph(9)) == [set(range(9))]
+
+    def test_isolated_vertices_excluded(self):
+        g = Graph([(0, 1)], vertices=[5])
+        comps = biconnected_components(g)
+        assert not any(5 in c for c in comps)
+
+    def test_matches_networkx(self):
+        for seed in range(30):
+            g = gnp_random_graph(15, 0.05 + (seed % 6) * 0.1, seed=seed)
+            want = {
+                frozenset(c)
+                for c in nx.biconnected_components(g.to_networkx())
+            }
+            got = vertex_set_family(biconnected_components(g))
+            assert got == want, seed
+
+
+class TestArticulationPoints:
+    def test_path_internal_vertices(self, path4):
+        assert articulation_points(path4) == {1, 2}
+
+    def test_cycle_has_none(self):
+        assert articulation_points(cycle_graph(6)) == set()
+
+    def test_shared_vertex(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+        assert articulation_points(g) == {2}
+
+    def test_matches_networkx(self):
+        for seed in range(20):
+            g = gnp_random_graph(14, 0.2, seed=seed + 100)
+            want = set(nx.articulation_points(g.to_networkx()))
+            assert articulation_points(g) == want, seed
+
+
+class TestTwoVccs:
+    def test_filters_bridges(self, path4):
+        assert two_vccs(path4) == []
+
+    def test_matches_enumerate_kvccs(self):
+        """The linear-time special case agrees with the flow machinery."""
+        for seed in range(25):
+            g = gnp_random_graph(14, 0.1 + (seed % 5) * 0.12, seed=seed * 3)
+            fast = vertex_set_family(two_vccs(g))
+            slow = vertex_set_family(kvcc_vertex_sets(g, 2))
+            assert fast == slow, seed
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000), st.floats(0.05, 0.5))
+def test_biconnected_property(seed, p):
+    g = gnp_random_graph(12, p, seed=seed)
+    want = {
+        frozenset(c) for c in nx.biconnected_components(g.to_networkx())
+    }
+    assert vertex_set_family(biconnected_components(g)) == want

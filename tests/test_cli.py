@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import figure1_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g, _ = figure1_graph()
+    path = tmp_path / "figure1.txt"
+    write_edge_list(g, path)
+    return str(path)
+
+
+class TestKvccCommand:
+    def test_prints_components(self, graph_file, capsys):
+        assert main(["kvcc", graph_file, "-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 4-VCC(s)" in out
+        assert "[0]" in out
+
+    def test_variant_selection(self, graph_file, capsys):
+        assert main(["kvcc", graph_file, "-k", "4", "--variant", "VCCE"]) == 0
+        assert "4 4-VCC(s)" in capsys.readouterr().out
+
+    def test_json_output(self, graph_file, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        assert (
+            main(
+                ["kvcc", graph_file, "-k", "4", "--out", str(out_file),
+                 "--embed-graph"]
+            )
+            == 0
+        )
+        payload = json.loads(out_file.read_text())
+        assert payload["k"] == 4
+        assert len(payload["components"]) == 4
+        assert "graph" in payload
+
+
+class TestStatsCommand:
+    def test_stats(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:   21" in out
+        assert "max degree" in out
+
+
+class TestConnectivityCommand:
+    def test_global(self, graph_file, capsys):
+        assert main(["connectivity", graph_file]) == 0
+        assert "kappa(G) = 1" in capsys.readouterr().out
+
+    def test_pair(self, graph_file, capsys):
+        assert main(["connectivity", graph_file, "-u", "0", "-v", "1"]) == 0
+        assert "kappa(0, 1) = inf" in capsys.readouterr().out
+
+    def test_half_pair_errors(self, graph_file, capsys):
+        assert main(["connectivity", graph_file, "-u", "0"]) == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_show_cut(self, graph_file, capsys):
+        assert main(["connectivity", graph_file, "--show-cut"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum vertex cut: [9]" in out  # vertex c of Figure 1
+
+    def test_show_cut_complete_graph(self, tmp_path, capsys):
+        from repro.graph.generators import complete_graph
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "k5.txt"
+        write_edge_list(complete_graph(5), path)
+        assert main(["connectivity", str(path), "--show-cut"]) == 0
+        assert "no cut" in capsys.readouterr().out
+
+
+class TestHierarchyCommand:
+    def test_levels(self, graph_file, capsys):
+        assert main(["hierarchy", graph_file, "--max-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "max level: 4" in out
+        assert "k=4: 4 component(s)" in out
+
+    def test_vcc_numbers(self, graph_file, capsys):
+        assert main(
+            ["hierarchy", graph_file, "--max-k", "2", "--vcc-numbers"]
+        ) == 0
+        assert "vcc-number(0)" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

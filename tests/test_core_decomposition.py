@@ -1,0 +1,125 @@
+"""Tests for k-core peeling and core decomposition."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.core_decomposition import (
+    core_number,
+    degeneracy,
+    k_core,
+    k_core_vertices,
+    peel_in_place,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    ring_of_cliques,
+)
+from repro.graph.graph import Graph
+
+
+class TestKCore:
+    def test_k0_is_identity(self, triangle):
+        assert k_core(triangle, 0) == triangle
+
+    def test_negative_k_raises(self, triangle):
+        with pytest.raises(ValueError):
+            k_core(triangle, -1)
+
+    def test_triangle_2core(self, triangle):
+        assert k_core(triangle, 2) == triangle
+
+    def test_triangle_3core_empty(self, triangle):
+        assert k_core(triangle, 3).num_vertices == 0
+
+    def test_path_peels_completely(self, path4):
+        assert k_core(path4, 2).num_vertices == 0
+
+    def test_pendant_removed_cascading(self):
+        # Triangle with a pendant path: peeling at k=2 removes the path.
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        core = k_core(g, 2)
+        assert core.vertex_set() == {0, 1, 2}
+
+    def test_input_not_modified(self, path4):
+        k_core(path4, 2)
+        assert path4.num_vertices == 4
+
+    def test_clique_ring(self, clique_ring):
+        # Ring links have degree 5; the 4-core keeps everything.
+        assert k_core(clique_ring, 4).num_vertices == 20
+        # The 5-core is empty (clique vertices have degree 4 inside).
+        assert k_core(clique_ring, 5).num_vertices == 0
+
+
+class TestCoreNumber:
+    def test_complete_graph(self):
+        core = core_number(complete_graph(6))
+        assert all(c == 5 for c in core.values())
+
+    def test_cycle(self):
+        core = core_number(cycle_graph(7))
+        assert all(c == 2 for c in core.values())
+
+    def test_empty(self):
+        assert core_number(Graph()) == {}
+
+    def test_matches_networkx_on_fixture(self, figure1):
+        g, _ = figure1
+        expected = nx.core_number(g.to_networkx())
+        assert core_number(g) == expected
+
+    def test_degeneracy(self):
+        assert degeneracy(complete_graph(5)) == 4
+        assert degeneracy(cycle_graph(9)) == 2
+        assert degeneracy(Graph()) == 0
+
+    def test_k_core_vertices_matches_k_core(self):
+        g = ring_of_cliques(3, 5)
+        for k in (2, 3, 4):
+            assert k_core_vertices(g, k) == k_core(g, k).vertex_set()
+
+
+class TestPeelInPlace:
+    def test_removes_and_reports(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        removed = peel_in_place(g, 2)
+        assert removed == {3}
+        assert g.vertex_set() == {0, 1, 2}
+
+    def test_equivalent_to_k_core(self):
+        for seed in range(10):
+            g = gnp_random_graph(15, 0.3, seed=seed)
+            expected = k_core(g, 3)
+            work = g.copy()
+            peel_in_place(work, 3)
+            assert work == expected
+
+    def test_peel_everything(self, path4):
+        removed = peel_in_place(path4, 5)
+        assert removed == {0, 1, 2, 3}
+        assert path4.num_vertices == 0
+
+
+@given(st.integers(0, 300), st.floats(0.05, 0.6))
+def test_core_number_matches_networkx(seed, p):
+    g = gnp_random_graph(14, p, seed=seed)
+    if g.num_vertices == 0:
+        return
+    assert core_number(g) == nx.core_number(g.to_networkx())
+
+
+@given(st.integers(0, 200), st.integers(1, 6))
+def test_k_core_min_degree_invariant(seed, k):
+    """Every vertex of the k-core has degree >= k inside it, and the
+    k-core is the *maximal* such subgraph (no removed vertex could
+    survive)."""
+    g = gnp_random_graph(16, 0.3, seed=seed)
+    core = k_core(g, k)
+    for v in core.vertices():
+        assert core.degree(v) >= k
+    # Maximality cross-check against networkx's core numbers.
+    expected = {v for v, c in nx.core_number(g.to_networkx()).items() if c >= k}
+    assert core.vertex_set() == expected

@@ -1,0 +1,126 @@
+"""Tests for the dataset registry and samplers."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    EFFECTIVENESS_DATASETS,
+    EFFICIENCY_DATASETS,
+    SCALABILITY_DATASETS,
+    dataset_names,
+    load_dataset,
+    scaled_k_values,
+)
+from repro.datasets.samplers import sample_edges, sample_vertices
+from repro.graph.generators import complete_graph, gnp_random_graph
+from repro.graph.graph import Graph
+
+
+class TestRegistry:
+    def test_seven_datasets(self):
+        assert len(dataset_names()) == 7
+
+    def test_experiment_subsets_registered(self):
+        for name in (
+            *EFFECTIVENESS_DATASETS,
+            *EFFICIENCY_DATASETS,
+            *SCALABILITY_DATASETS,
+        ):
+            assert name in DATASETS
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("snapchat")
+
+    def test_loading_is_deterministic(self):
+        a = load_dataset("nd")
+        b = load_dataset("nd")
+        assert a == b
+
+    def test_returned_copy_is_independent(self):
+        a = load_dataset("nd")
+        a.remove_vertex(next(iter(a.vertices())))
+        b = load_dataset("nd")
+        assert b.num_vertices == a.num_vertices + 1
+
+    def test_sizes_in_expected_band(self):
+        for name in dataset_names():
+            g = load_dataset(name)
+            assert 800 <= g.num_vertices <= 4000
+            assert g.num_edges >= g.num_vertices  # all denser than trees
+
+    def test_density_ordering_flavor(self):
+        """Relative density flavor of Table 1: cnr densest, dblp/cit sparse."""
+        density = {
+            name: load_dataset(name).num_edges / load_dataset(name).num_vertices
+            for name in dataset_names()
+        }
+        assert density["cnr"] == max(density.values())
+        assert density["cit"] < density["stanford"]
+        assert density["dblp"] < density["stanford"]
+
+
+class TestScaledK:
+    def test_values_sorted_unique(self):
+        g = load_dataset("youtube")
+        ks = scaled_k_values(g, 5)
+        assert ks == sorted(set(ks))
+        assert all(k >= 2 for k in ks)
+
+    def test_single_value(self):
+        g = load_dataset("youtube")
+        assert len(scaled_k_values(g, 1)) == 1
+
+    def test_sparse_graph_min(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert scaled_k_values(g) == [2]
+
+    def test_values_below_degeneracy(self):
+        from repro.graph.core_decomposition import degeneracy
+
+        for name in dataset_names():
+            g = load_dataset(name)
+            d = degeneracy(g)
+            assert all(k <= d for k in scaled_k_values(g))
+
+
+class TestSamplers:
+    def test_fraction_validation(self):
+        g = complete_graph(5)
+        with pytest.raises(ValueError):
+            sample_vertices(g, 0.0)
+        with pytest.raises(ValueError):
+            sample_edges(g, 1.5)
+
+    def test_full_fraction_is_copy(self):
+        g = gnp_random_graph(20, 0.3, seed=1)
+        assert sample_vertices(g, 1.0) == g
+        assert sample_edges(g, 1.0) == g
+
+    def test_vertex_sample_size(self):
+        g = gnp_random_graph(100, 0.1, seed=2)
+        sub = sample_vertices(g, 0.4, seed=3)
+        assert sub.num_vertices == 40
+
+    def test_vertex_sample_induced(self):
+        g = gnp_random_graph(30, 0.3, seed=4)
+        sub = sample_vertices(g, 0.5, seed=5)
+        for u, v in sub.edges():
+            assert g.has_edge(u, v)
+
+    def test_edge_sample_size(self):
+        g = gnp_random_graph(40, 0.3, seed=6)
+        sub = sample_edges(g, 0.25, seed=7)
+        assert sub.num_edges == round(0.25 * g.num_edges)
+
+    def test_edge_sample_no_isolated_vertices(self):
+        g = gnp_random_graph(40, 0.2, seed=8)
+        sub = sample_edges(g, 0.3, seed=9)
+        assert all(sub.degree(v) >= 1 for v in sub.vertices())
+
+    def test_deterministic(self):
+        g = gnp_random_graph(40, 0.3, seed=10)
+        assert sample_vertices(g, 0.5, seed=1) == sample_vertices(
+            g, 0.5, seed=1
+        )
+        assert sample_edges(g, 0.5, seed=2) == sample_edges(g, 0.5, seed=2)

@@ -1,0 +1,19 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.graph.graph
+import repro.graph.io
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.graph.graph, repro.graph.io],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    failures, _ = doctest.testmod(module, verbose=False)
+    assert failures == 0

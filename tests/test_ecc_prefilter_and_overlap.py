@@ -1,0 +1,111 @@
+"""Tests for the k-ECC prefilter strategy and the overlap meta-graph."""
+
+import pytest
+
+from repro.core.ecc_prefilter import enumerate_kvccs_via_ecc
+from repro.core.kvcc import enumerate_kvccs, kvcc_vertex_sets
+from repro.core.overlap_graph import build_overlap_graph
+from repro.graph.generators import (
+    complete_graph,
+    figure1_graph,
+    gnp_random_graph,
+    overlapping_cliques_graph,
+    ring_of_cliques,
+)
+from repro.graph.graph import Graph
+
+from conftest import vertex_set_family
+
+
+class TestEccPrefilter:
+    def test_invalid_k(self, triangle):
+        with pytest.raises(ValueError):
+            enumerate_kvccs_via_ecc(triangle, 0)
+
+    def test_figure1(self, figure1):
+        g, blocks = figure1
+        got = vertex_set_family(enumerate_kvccs_via_ecc(g, 4))
+        assert got == vertex_set_family(blocks.values())
+
+    def test_matches_flat_on_random(self):
+        for seed in range(15):
+            g = gnp_random_graph(14, 0.3 + (seed % 3) * 0.15, seed=seed * 5)
+            for k in (2, 3, 4):
+                got = vertex_set_family(enumerate_kvccs_via_ecc(g, k))
+                want = vertex_set_family(enumerate_kvccs(g, k))
+                assert got == want, (seed, k)
+
+    def test_matches_flat_on_structured(self):
+        for g in (
+            ring_of_cliques(4, 6),
+            overlapping_cliques_graph(6, 3, 2),
+        ):
+            for k in (2, 3, 4):
+                got = vertex_set_family(enumerate_kvccs_via_ecc(g, k))
+                want = vertex_set_family(enumerate_kvccs(g, k))
+                assert got == want
+
+    def test_prefilter_confines_work(self, figure1):
+        """Figure 1: the G4 block is a separate 4-ECC, so the expensive
+        enumeration never sees G1-G3 and G4 together."""
+        from repro.core.stats import RunStats
+
+        g, _ = figure1
+        stats = RunStats(k=4)
+        enumerate_kvccs_via_ecc(g, 4, stats=stats)
+        flat = RunStats(k=4)
+        enumerate_kvccs(g, 4, stats=flat)
+        assert stats.flow_tests <= flat.flow_tests
+
+
+class TestOverlapGraph:
+    def test_figure1_overlaps(self, figure1):
+        g, _ = figure1
+        comps = kvcc_vertex_sets(g, 4)
+        og = build_overlap_graph(comps, 4)
+        # G1-G2 share {4, 5}; G2-G3 share {9}; G3-G4 disjoint.
+        overlap_sizes = sorted(len(s) for s in og.edges.values())
+        assert overlap_sizes == [1, 2]
+
+    def test_membership(self, figure1):
+        g, _ = figure1
+        og = build_overlap_graph(kvcc_vertex_sets(g, 4), 4)
+        assert len(og.membership[4]) == 2  # vertex a
+        assert len(og.membership[0]) == 1
+
+    def test_hub_vertices(self, figure1):
+        g, _ = figure1
+        og = build_overlap_graph(kvcc_vertex_sets(g, 4), 4)
+        assert set(og.hub_vertices()) == {4, 5, 9}
+
+    def test_neighbors_and_shared(self):
+        og = build_overlap_graph([{1, 2, 3}, {3, 4, 5}, {6, 7, 8}], 3)
+        assert og.neighbors_of(0) == [1]
+        assert og.shared_vertices(0, 1) == {3}
+        assert og.shared_vertices(1, 0) == {3}  # order-insensitive
+        assert og.shared_vertices(0, 2) == set()
+
+    def test_meta_graph(self):
+        og = build_overlap_graph([{1, 2}, {2, 3}, {3, 4}], 2)
+        meta = og.to_meta_graph()
+        assert meta.num_vertices == 3
+        assert meta.has_edge(0, 1) and meta.has_edge(1, 2)
+        assert not meta.has_edge(0, 2)
+
+    def test_property1_violation_rejected(self):
+        with pytest.raises(ValueError, match="Property 1"):
+            build_overlap_graph([{1, 2, 3, 4}, {2, 3, 4, 5}], 3)
+
+    def test_accepts_graph_objects(self):
+        g = complete_graph(4)
+        og = build_overlap_graph(enumerate_kvccs(g, 2), 2)
+        assert len(og.components) == 1
+
+    def test_valid_on_real_decompositions(self):
+        for seed in range(8):
+            g = gnp_random_graph(13, 0.4, seed=seed + 9)
+            for k in (2, 3):
+                comps = kvcc_vertex_sets(g, k)
+                og = build_overlap_graph(comps, k)  # must not raise
+                for owners in og.membership.values():
+                    assert owners == sorted(owners)

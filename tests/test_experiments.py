@@ -1,0 +1,226 @@
+"""Tests for the experiment drivers (shapes and paper-claim assertions).
+
+These use trimmed dataset/k subsets so the whole file stays fast; the
+full sweeps live in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.case_study import (
+    HUB,
+    SPREAD,
+    case_study_ego_graph,
+    format_case_study,
+    run_case_study,
+)
+from repro.experiments.counts import format_counts, run_counts
+from repro.experiments.effectiveness import (
+    EffectivenessRow,
+    components_for_model,
+    format_effectiveness,
+    run_effectiveness,
+)
+from repro.experiments.efficiency import (
+    format_efficiency,
+    run_efficiency,
+    speedup_summary,
+)
+from repro.experiments.memory import format_memory, run_memory
+from repro.experiments.prune_rules import format_prune_rules, run_prune_rules
+from repro.experiments.scalability import format_scalability, run_scalability
+from repro.experiments.tables import format_table1, render_table, run_table1
+
+QUICK = {"datasets": ("youtube",), "k_count": 2}
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["a", "bb"], [(1, 2.5), ("x", "y")])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in out
+
+    def test_alignment(self):
+        out = render_table(["col"], [("verylongvalue",)])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+
+class TestTable1:
+    def test_all_datasets_present(self):
+        rows = run_table1()
+        assert len(rows) == 7
+        names = {r["dataset"] for r in rows}
+        assert "stanford" in names and "cit" in names
+
+    def test_format(self):
+        out = format_table1(run_table1())
+        assert "web-Stanford" in out
+        assert "Density" in out
+
+
+class TestEffectiveness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_effectiveness(datasets=("youtube",), k_count=2)
+
+    def test_all_models_present(self, rows):
+        models = {r.model for r in rows}
+        assert models == {"k-CC", "k-ECC", "k-VCC"}
+
+    def test_paper_claim_ordering(self, rows):
+        """Figures 7-9's claim: k-VCC is at least as cohesive as k-ECC,
+        which is at least as cohesive as k-CC (diameter anti-monotone,
+        density/clustering monotone), for each (dataset, k)."""
+        by_key = {}
+        for r in rows:
+            by_key.setdefault((r.dataset, r.k), {})[r.model] = r
+        for key, models in by_key.items():
+            if len(models) != 3:
+                continue
+            cc, ecc, vcc = models["k-CC"], models["k-ECC"], models["k-VCC"]
+            if any(math.isnan(x.diameter) for x in (cc, ecc, vcc)):
+                continue
+            assert vcc.diameter <= cc.diameter + 1e-9, key
+            assert vcc.edge_density >= cc.edge_density - 1e-9, key
+            assert vcc.edge_density >= ecc.edge_density - 1e-9, key
+            assert ecc.edge_density >= cc.edge_density - 1e-9, key
+
+    def test_format(self, rows):
+        out = format_effectiveness(rows, "edge_density")
+        assert "k-VCC" in out
+
+    def test_components_for_model_unknown(self):
+        from repro.graph.generators import complete_graph
+
+        with pytest.raises(ValueError):
+            components_for_model(complete_graph(4), 2, "k-MAGIC")
+
+
+class TestEfficiency:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_efficiency(
+            datasets=("youtube",), variants=("VCCE", "VCCE*"), k_count=2
+        )
+
+    def test_rows_shape(self, rows):
+        assert {r.variant for r in rows} == {"VCCE", "VCCE*"}
+        assert all(r.seconds >= 0 for r in rows)
+
+    def test_variants_agree_on_counts(self, rows):
+        by_key = {}
+        for r in rows:
+            by_key.setdefault((r.dataset, r.k), {})[r.variant] = r.kvccs
+        for counts in by_key.values():
+            assert len(set(counts.values())) == 1
+
+    def test_star_never_does_more_flow_tests(self, rows):
+        by_key = {}
+        for r in rows:
+            by_key.setdefault((r.dataset, r.k), {})[r.variant] = r
+        for pair in by_key.values():
+            assert pair["VCCE*"].flow_tests <= pair["VCCE"].flow_tests
+
+    def test_format_and_speedup(self, rows):
+        assert "VCCE*" in format_efficiency(rows)
+        summary = speedup_summary(rows)
+        assert all(s > 0 for s in summary.values())
+
+
+class TestPruneRules:
+    def test_proportions_valid(self):
+        rows = run_prune_rules(datasets=("youtube",), k_count=2)
+        for r in rows:
+            total = r.ns1 + r.ns2 + r.gs + r.non_pruned
+            assert total == pytest.approx(1.0)
+            assert r.phase1_vertices > 0
+
+    def test_format(self):
+        rows = run_prune_rules(datasets=("youtube",), k_count=1)
+        out = format_prune_rules(rows)
+        assert "Non-Pru" in out and "NS 1" in out
+
+
+class TestCounts:
+    def test_counts_positive_and_bounded(self):
+        rows = run_counts(datasets=("youtube",), k_count=3)
+        assert rows
+        for r in rows:
+            assert r.kvccs >= 0
+            assert r.overlap_vertices >= 0
+
+    def test_decreasing_trend(self):
+        """Figure 11: counts do not explode as k grows; the first k has at
+        least as many k-VCCs as the last."""
+        rows = run_counts(datasets=("youtube",), k_count=3)
+        ks = sorted(r.k for r in rows)
+        first = next(r.kvccs for r in rows if r.k == ks[0])
+        last = next(r.kvccs for r in rows if r.k == ks[-1])
+        assert first >= last
+
+    def test_format(self):
+        assert "#k-VCCs" in format_counts(
+            run_counts(datasets=("youtube",), k_count=1)
+        )
+
+
+class TestMemory:
+    def test_rows(self):
+        rows = run_memory(datasets=("youtube",), k_count=2)
+        for r in rows:
+            assert r.peak_bytes > 0
+            assert r.peak_resident_vertices > 0
+        assert "MB" in format_memory(rows)
+
+
+class TestScalability:
+    def test_rows(self):
+        rows = run_scalability(
+            datasets=("cit",), fractions=(0.4, 1.0),
+            variants=("VCCE*",),
+        )
+        axes = {r.axis for r in rows}
+        assert axes == {"vertices", "edges"}
+        assert "100%" in format_scalability(rows)
+
+    def test_time_grows_with_size(self):
+        rows = run_scalability(
+            datasets=("cit",), fractions=(0.2, 1.0), variants=("VCCE*",)
+        )
+        by_axis = {}
+        for r in rows:
+            by_axis.setdefault(r.axis, {})[r.fraction] = r.seconds
+        for axis, series in by_axis.items():
+            assert series[1.0] >= series[0.2], axis
+
+
+class TestCaseStudy:
+    def test_ego_graph_shape(self):
+        g, groups = case_study_ego_graph()
+        assert HUB in g
+        assert len(groups) == 7
+        for group in groups:
+            assert HUB in group
+
+    def test_narrative(self):
+        result = run_case_study()
+        assert len(result.kvccs) == 7
+        assert len(result.eccs) == 1
+        assert len(result.cores) == 1
+        assert result.hub_group_count == 7
+        assert result.spread_in_ecc
+        assert not result.spread_in_any_kvcc
+        assert HUB in result.multi_group_authors
+
+    def test_expected_groups_match(self):
+        _, expected = case_study_ego_graph()
+        result = run_case_study()
+        got = {frozenset(c) for c in result.kvccs}
+        assert got == {frozenset(g) for g in expected}
+
+    def test_format(self):
+        out = format_case_study(run_case_study())
+        assert SPREAD in out

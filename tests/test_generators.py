@@ -1,0 +1,183 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.connectivity import is_connected
+from repro.graph.generators import (
+    assemble_communities,
+    barabasi_albert_graph,
+    citation_graph,
+    clique_membership_for_chain,
+    collaboration_graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    modular_graph,
+    overlapping_cliques_graph,
+    planted_kvcc_graph,
+    planted_partition_graph,
+    ring_of_cliques,
+    web_graph,
+)
+
+
+class TestBasicShapes:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_vertices == 6
+        assert g.num_edges == 15
+
+    def test_complete_offset(self):
+        g = complete_graph(4, offset=10)
+        assert set(g.vertices()) == {10, 11, 12, 13}
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_gnp_bounds(self):
+        assert gnp_random_graph(10, 0.0).num_edges == 0
+        assert gnp_random_graph(10, 1.0).num_edges == 45
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.5)
+
+    def test_gnm_exact_edges(self):
+        g = gnm_random_graph(12, 20, seed=4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 20
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 7)
+
+    def test_ba_degrees(self):
+        g = barabasi_albert_graph(50, 3, seed=1)
+        assert g.num_vertices == 50
+        # Every latecomer adds exactly 3 edges.
+        assert g.num_edges == 3 + 3 * (50 - 4)
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda s: gnp_random_graph(15, 0.3, seed=s),
+            lambda s: gnm_random_graph(15, 30, seed=s),
+            lambda s: barabasi_albert_graph(30, 2, seed=s),
+            lambda s: web_graph(60, out_degree=4, seed=s),
+            lambda s: citation_graph(60, refs=3, seed=s),
+            lambda s: collaboration_graph(40, 60, seed=s),
+            lambda s: planted_partition_graph(3, 10, 0.5, 0.05, seed=s),
+        ],
+    )
+    def test_same_seed_same_graph(self, make):
+        assert make(7) == make(7)
+
+    def test_different_seed_differs(self):
+        assert gnp_random_graph(15, 0.5, seed=1) != gnp_random_graph(
+            15, 0.5, seed=2
+        )
+
+
+class TestStructuredGenerators:
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 10 + 4
+        with pytest.raises(ValueError):
+            ring_of_cliques(1, 5)
+
+    def test_overlapping_cliques(self):
+        g = overlapping_cliques_graph(clique_size=5, num_cliques=3, overlap=2)
+        blocks = clique_membership_for_chain(5, 3, 2)
+        assert g.num_vertices == 5 + 3 + 3
+        for block in blocks:
+            sub = g.induced_subgraph(block)
+            assert sub.num_edges == 10  # K5
+
+    def test_overlap_too_large(self):
+        with pytest.raises(ValueError):
+            overlapping_cliques_graph(4, 2, overlap=4)
+
+    def test_planted_kvcc_blocks_are_cliques(self):
+        g, blocks = planted_kvcc_graph(
+            k=3, num_blocks=4, block_size=5, overlap=1, bridge_edges=1, seed=2
+        )
+        for block in blocks:
+            sub = g.induced_subgraph(block)
+            n = len(block)
+            assert sub.num_edges == n * (n - 1) // 2
+
+    def test_planted_kvcc_validation(self):
+        with pytest.raises(ValueError):
+            planted_kvcc_graph(k=3, num_blocks=2, block_size=3)
+        with pytest.raises(ValueError):
+            planted_kvcc_graph(
+                k=3, num_blocks=2, block_size=5, overlap=2, bridge_edges=1
+            )
+
+    def test_figure1_shape(self):
+        g, blocks = figure1_graph()
+        assert g.num_vertices == 21
+        # Four K6 blocks, overlapping: shared edge (4,5), shared vertex 9,
+        # plus the two bridges.
+        assert set(blocks) == {"G1", "G2", "G3", "G4"}
+        assert blocks["G1"] & blocks["G2"] == {4, 5}
+        assert blocks["G2"] & blocks["G3"] == {9}
+        assert not (blocks["G3"] & blocks["G4"])
+        assert g.has_edge(10, 15) and g.has_edge(11, 16)
+
+    def test_web_graph_connected(self):
+        g = web_graph(100, out_degree=4, seed=3)
+        assert g.num_vertices == 100
+        assert is_connected(g)
+
+    def test_web_graph_validation(self):
+        with pytest.raises(ValueError):
+            web_graph(5, out_degree=5)
+
+    def test_citation_graph_validation(self):
+        with pytest.raises(ValueError):
+            citation_graph(4, refs=4)
+
+    def test_collaboration_graph_size(self):
+        g = collaboration_graph(50, 80, seed=1)
+        assert g.num_vertices == 50  # isolated authors allowed
+
+    def test_modular_graph_kinds(self):
+        for kind in ("web", "social", "collab", "citation", "clique"):
+            g = modular_graph(3, 20, inner=kind, seed=5,
+                              cross_edges_per_community=2)
+            assert g.num_vertices == 60
+
+    def test_modular_graph_unknown_kind(self):
+        with pytest.raises(ValueError):
+            modular_graph(3, 10, inner="nope")
+
+    def test_assemble_communities(self):
+        parts = [complete_graph(5), complete_graph(6), cycle_graph(4)]
+        g = assemble_communities(parts, cross_edges=5, seed=0)
+        assert g.num_vertices == 15
+        assert g.num_edges == 10 + 15 + 4 + 5
+
+    def test_assemble_needs_two(self):
+        with pytest.raises(ValueError):
+            assemble_communities([complete_graph(3)], 1)
+
+
+@settings(max_examples=25)
+@given(st.integers(2, 5), st.integers(2, 5))
+def test_planted_partition_shape(c, size):
+    g = planted_partition_graph(c, size, p_in=1.0, p_out=0.0, seed=1)
+    # p_in=1, p_out=0: disjoint cliques.
+    assert g.num_edges == c * size * (size - 1) // 2

@@ -1,0 +1,123 @@
+"""Tests for GLOBAL-CUT / GLOBAL-CUT* (cut existence and validity)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.global_cut import global_cut
+from repro.core.options import KVCCOptions
+from repro.core.stats import RunStats
+from repro.core.variants import VARIANTS
+from repro.graph.connectivity import is_vertex_cut
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp_random_graph,
+    overlapping_cliques_graph,
+)
+from repro.graph.graph import Graph
+
+from conftest import random_connected_graph
+
+ALL_OPTIONS = list(VARIANTS.values()) + [
+    KVCCOptions(use_certificate=False, neighbor_sweep=False,
+                group_sweep=False, maintain_side_vertices=False),
+    KVCCOptions(farthest_first=False),
+    KVCCOptions(source_strong_side_vertex=False),
+]
+
+
+class TestBasicBehavior:
+    def test_complete_graph_no_cut(self):
+        g = complete_graph(6)
+        for options in ALL_OPTIONS:
+            assert global_cut(g, 4, options) is None
+
+    def test_cycle_has_two_cut(self):
+        g = cycle_graph(8)
+        cut = global_cut(g, 3)
+        assert cut is not None
+        assert len(cut) == 2
+        assert is_vertex_cut(g, cut)
+
+    def test_cycle_is_two_connected(self):
+        g = cycle_graph(8)
+        assert global_cut(g, 2) is None
+
+    def test_two_cliques_shared_overlap(self, two_cliques_shared_edge):
+        cut = global_cut(two_cliques_shared_edge, 3)
+        assert cut is not None
+        assert len(cut) == 2
+        assert is_vertex_cut(two_cliques_shared_edge, cut)
+
+    def test_tiny_graph_no_cut(self):
+        assert global_cut(Graph([(0, 1)]), 2) is None
+        assert global_cut(Graph(vertices=[0]), 1) is None
+
+    def test_disconnected_graph_yields_cut(self):
+        """A disconnected input comes back with a (possibly empty) cut."""
+        g = Graph([(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+        cut = global_cut(g, 2)
+        assert cut is not None
+        assert is_vertex_cut(g, cut)
+
+    def test_stats_counters(self):
+        g = cycle_graph(10)
+        stats = RunStats(k=2)
+        global_cut(g, 2, VARIANTS["VCCE"], stats)
+        assert stats.global_cut_calls == 1
+        assert stats.flow_tests > 0
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("options_idx", range(len(ALL_OPTIONS)))
+    def test_cut_found_iff_below_k(self, options_idx):
+        """global_cut returns a valid cut exactly when kappa(G) < k."""
+        options = ALL_OPTIONS[options_idx]
+        for seed in range(12):
+            g = random_connected_graph(10, 0.45, seed=seed)
+            kappa = nx.node_connectivity(g.to_networkx())
+            for k in (1, 2, 3, 4):
+                if g.num_vertices <= k:
+                    continue
+                cut = global_cut(g, k, options)
+                if kappa >= k:
+                    assert cut is None, (seed, k, kappa, cut)
+                else:
+                    assert cut is not None, (seed, k, kappa)
+                    assert len(cut) < k
+                    assert is_vertex_cut(g, cut)
+
+
+class TestPrecomputedStrong:
+    def test_precomputed_strong_used(self):
+        from repro.core.side_vertex import strong_side_vertices
+
+        g = overlapping_cliques_graph(6, 2, 2)
+        k = 3
+        strong = strong_side_vertices(g, k)
+        cut_a = global_cut(g, k, precomputed_strong=strong)
+        cut_b = global_cut(g, k)
+        # Both find *a* valid < k cut (possibly different ones).
+        for cut in (cut_a, cut_b):
+            assert cut is not None and len(cut) < k
+            assert is_vertex_cut(g, cut)
+
+    def test_stale_strong_vertices_filtered(self):
+        g = complete_graph(5)
+        # 99 does not exist; it must be ignored, not crash.
+        assert global_cut(g, 3, precomputed_strong={0, 99}) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 5_000), st.integers(2, 4))
+def test_returned_cut_is_always_valid(seed, k):
+    g = random_connected_graph(9, 0.4, seed=seed)
+    cut = global_cut(g, k)
+    if cut is not None:
+        assert len(cut) < k
+        assert is_vertex_cut(g, cut)
+    else:
+        assert nx.node_connectivity(g.to_networkx()) >= min(
+            k, g.num_vertices - 1
+        )

@@ -1,0 +1,256 @@
+"""Unit tests for the Graph data structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_isolated_vertices(self):
+        g = Graph(edges=[(1, 2)], vertices=[5, 6])
+        assert g.num_vertices == 4
+        assert g.degree(5) == 0
+
+    def test_duplicate_edges_merged(self):
+        g = Graph([(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph([(1, 1)])
+
+    def test_from_edge_list_classmethod(self):
+        g = Graph.from_edge_list([(0, 1), (1, 2)])
+        assert g.num_edges == 2
+
+    def test_string_labels(self):
+        g = Graph([("alice", "bob"), ("bob", "carol")])
+        assert g.degree("bob") == 2
+
+
+class TestQueries:
+    def test_contains(self):
+        g = Graph([(1, 2)])
+        assert 1 in g
+        assert 3 not in g
+
+    def test_len_and_iter(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert len(g) == 3
+        assert set(g) == {1, 2, 3}
+
+    def test_neighbors(self):
+        g = Graph([(1, 2), (1, 3)])
+        assert g.neighbors(1) == {2, 3}
+        assert g.neighbors(2) == {1}
+
+    def test_degree(self):
+        g = Graph([(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(4) == 1
+
+    def test_has_edge(self):
+        g = Graph([(1, 2)])
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(1, 3)
+        assert not g.has_edge(99, 1)  # absent vertex is safe
+
+    def test_edges_each_once(self):
+        g = Graph([(1, 2), (2, 3), (3, 1)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert {frozenset(e) for e in edges} == {
+            frozenset((1, 2)), frozenset((2, 3)), frozenset((3, 1))
+        }
+
+    def test_min_degree_vertex(self):
+        g = Graph([(1, 2), (1, 3), (2, 3), (3, 4)])
+        assert g.min_degree_vertex() == 4
+        assert g.min_degree() == 1
+        assert g.max_degree() == 3
+
+    def test_min_degree_vertex_empty_raises(self):
+        with pytest.raises(ValueError):
+            Graph().min_degree_vertex()
+        with pytest.raises(ValueError):
+            Graph().min_degree()
+        with pytest.raises(ValueError):
+            Graph().max_degree()
+
+    def test_vertex_set_is_copy(self):
+        g = Graph([(1, 2)])
+        vs = g.vertex_set()
+        vs.add(99)
+        assert 99 not in g
+
+
+class TestMutation:
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(1)
+        g.add_vertex(1)
+        assert g.num_vertices == 1
+
+    def test_add_edge_creates_vertices(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_add_edge_self_loop_raises(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(3, 3)
+
+    def test_remove_edge(self):
+        g = Graph([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+        assert g.num_vertices == 3  # endpoints stay
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 3)
+
+    def test_remove_vertex(self):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        g.remove_vertex(1)
+        assert 1 not in g
+        assert g.num_edges == 1
+        assert g.neighbors(2) == {3}
+
+    def test_remove_vertices_batch(self):
+        g = Graph([(1, 2), (2, 3), (3, 4)])
+        g.remove_vertices([1, 3, 99])  # 99 absent: skipped
+        assert set(g.vertices()) == {2, 4}
+        assert g.num_edges == 0
+
+
+class TestDerivation:
+    def test_copy_independent(self):
+        g = Graph([(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert g.num_edges == 1
+        assert h.num_edges == 2
+
+    def test_induced_subgraph(self):
+        g = Graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        sub = g.induced_subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert 4 not in sub
+
+    def test_induced_subgraph_ignores_unknown(self):
+        g = Graph([(1, 2)])
+        sub = g.induced_subgraph([1, 2, 42])
+        assert sub.num_vertices == 2
+
+    def test_induced_subgraph_is_independent(self):
+        g = Graph([(1, 2), (2, 3)])
+        sub = g.induced_subgraph([1, 2])
+        sub.remove_edge(1, 2)
+        assert g.has_edge(1, 2)
+
+    def test_union(self):
+        a = Graph([(1, 2)])
+        b = Graph([(2, 3)])
+        u = a.union(b)
+        assert u.num_vertices == 3
+        assert u.num_edges == 2
+
+    def test_union_definition_matches_paper(self):
+        """g ∪ g' = (V(g) ∪ V(g'), E(g) ∪ E(g')) - Section 2.1."""
+        a = Graph([(1, 2), (2, 3)])
+        b = Graph([(2, 3), (3, 4)])
+        u = a.union(b)
+        assert u.vertex_set() == {1, 2, 3, 4}
+        assert u.num_edges == 3
+
+
+class TestComparison:
+    def test_eq(self):
+        assert Graph([(1, 2)]) == Graph([(2, 1)])
+        assert Graph([(1, 2)]) != Graph([(1, 3)])
+
+    def test_eq_other_type(self):
+        assert Graph() != 42
+
+    def test_edge_set(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.edge_set() == {frozenset((1, 2)), frozenset((2, 3))}
+
+    def test_repr(self):
+        assert repr(Graph([(1, 2)])) == "Graph(n=2, m=1)"
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self):
+        import networkx as nx
+
+        g = Graph([(1, 2), (2, 3), (3, 1)])
+        nxg = g.to_networkx()
+        assert isinstance(nxg, nx.Graph)
+        back = Graph.from_networkx(nxg)
+        assert back == g
+
+    def test_from_networkx_drops_self_loops(self):
+        import networkx as nx
+
+        nxg = nx.Graph([(1, 1), (1, 2)])
+        g = Graph.from_networkx(nxg)
+        assert g.num_edges == 1
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=40,
+    )
+)
+def test_edge_count_consistency(edges):
+    """num_edges always equals half the degree sum and the edges() length."""
+    g = Graph(edges)
+    assert g.num_edges == sum(g.degree(v) for v in g.vertices()) // 2
+    assert g.num_edges == len(list(g.edges()))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=30,
+    ),
+    st.sets(st.integers(0, 12), max_size=8),
+)
+def test_induced_subgraph_property(edges, keep):
+    """G[keep] contains exactly the edges of G with both endpoints kept."""
+    g = Graph(edges)
+    sub = g.induced_subgraph(keep)
+    expected_vertices = {v for v in keep if v in g}
+    assert sub.vertex_set() == expected_vertices
+    expected_edges = {
+        frozenset((u, v))
+        for u, v in g.edges()
+        if u in expected_vertices and v in expected_vertices
+    }
+    assert sub.edge_set() == expected_edges

@@ -1,0 +1,95 @@
+"""Model-based fuzzing of the Graph class against a networkx mirror.
+
+A hypothesis state machine applies random mutation sequences to both
+our :class:`~repro.graph.graph.Graph` and a ``networkx.Graph`` and
+checks the observable state (vertex set, edge set, degrees, component
+structure) stays identical after every step.  This catches bookkeeping
+bugs - stale adjacency entries, miscounted ``num_edges`` - that
+example-based tests miss.
+"""
+
+import networkx as nx
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.graph.connectivity import connected_components
+from repro.graph.graph import Graph
+
+VERTICES = st.integers(0, 9)
+
+
+class GraphModel(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.ours = Graph()
+        self.mirror = nx.Graph()
+
+    @rule(v=VERTICES)
+    def add_vertex(self, v):
+        self.ours.add_vertex(v)
+        self.mirror.add_node(v)
+
+    @rule(u=VERTICES, v=VERTICES)
+    def add_edge(self, u, v):
+        if u == v:
+            return
+        self.ours.add_edge(u, v)
+        self.mirror.add_edge(u, v)
+
+    @rule(u=VERTICES, v=VERTICES)
+    def remove_edge(self, u, v):
+        if self.ours.has_edge(u, v):
+            self.ours.remove_edge(u, v)
+            self.mirror.remove_edge(u, v)
+
+    @rule(v=VERTICES)
+    def remove_vertex(self, v):
+        if v in self.ours:
+            self.ours.remove_vertex(v)
+            self.mirror.remove_node(v)
+
+    @rule(vs=st.sets(VERTICES, max_size=4))
+    def take_induced_subgraph(self, vs):
+        """Deriving a subgraph must not disturb the original."""
+        sub = self.ours.induced_subgraph(vs)
+        expected = self.mirror.subgraph(
+            [v for v in vs if v in self.mirror]
+        )
+        assert sub.vertex_set() == set(expected.nodes())
+        assert sub.num_edges == expected.number_of_edges()
+
+    @invariant()
+    def same_vertices(self):
+        assert self.ours.vertex_set() == set(self.mirror.nodes())
+
+    @invariant()
+    def same_edges(self):
+        ours = {frozenset(e) for e in self.ours.edges()}
+        theirs = {frozenset(e) for e in self.mirror.edges()}
+        assert ours == theirs
+        assert self.ours.num_edges == self.mirror.number_of_edges()
+
+    @invariant()
+    def same_degrees(self):
+        for v in self.ours.vertices():
+            assert self.ours.degree(v) == self.mirror.degree(v)
+
+    @invariant()
+    def same_components(self):
+        ours = {frozenset(c) for c in connected_components(self.ours)}
+        theirs = {
+            frozenset(c) for c in nx.connected_components(self.mirror)
+        }
+        assert ours == theirs
+
+
+TestGraphModel = GraphModel.TestCase
+TestGraphModel.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

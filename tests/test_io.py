@@ -1,0 +1,83 @@
+"""Tests for edge-list IO."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    edges_to_lines,
+    graph_from_lines,
+    read_edge_list,
+    read_snap_file,
+    write_edge_list,
+)
+
+
+class TestParsing:
+    def test_basic_lines(self):
+        g = graph_from_lines(["0 1", "1 2"])
+        assert g.num_edges == 2
+
+    def test_comments_and_blanks(self):
+        g = graph_from_lines(["# header", "", "0 1", "  ", "# more", "1 2"])
+        assert g.num_edges == 2
+
+    def test_self_loops_skipped(self):
+        g = graph_from_lines(["0 0", "0 1"])
+        assert g.num_edges == 1
+
+    def test_duplicate_and_reverse_edges_merged(self):
+        g = graph_from_lines(["0 1", "1 0", "0 1"])
+        assert g.num_edges == 1
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            graph_from_lines(["justonetoken"])
+
+    def test_string_vertices(self):
+        g = graph_from_lines(["alice bob"])
+        assert g.has_edge("alice", "bob")
+
+    def test_mixed_tokens_parse_ints(self):
+        g = graph_from_lines(["1 2", "2 x"])
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, "x")
+
+    def test_tab_separated(self):
+        g = graph_from_lines(["0\t1", "1\t2"])
+        assert g.num_edges == 2
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back == g
+
+    def test_header_is_comment(self, tmp_path):
+        g = Graph([(0, 1)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header=True)
+        text = path.read_text()
+        assert text.startswith("#")
+
+    def test_no_header(self, tmp_path):
+        g = Graph([(0, 1)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, header=False)
+        assert not path.read_text().startswith("#")
+
+    def test_snap_format(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed graph\n# Nodes: 3 Edges: 3\n0\t1\n1\t2\n2\t0\n"
+        )
+        g = read_snap_file(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_edges_to_lines_roundtrip(self):
+        g = Graph([(0, 1), (1, 2)])
+        back = graph_from_lines(edges_to_lines(g.edges()))
+        assert back == g

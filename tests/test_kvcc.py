@@ -1,0 +1,200 @@
+"""Tests for KVCC-ENUM on structured graphs with known answers."""
+
+import pytest
+
+from repro.core.kvcc import enumerate_kvccs, kvcc_vertex_sets, vccs_containing
+from repro.core.stats import RunStats
+from repro.core.variants import VARIANTS
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    overlapping_cliques_graph,
+    clique_membership_for_chain,
+    planted_kvcc_graph,
+    ring_of_cliques,
+)
+from repro.graph.graph import Graph
+
+from conftest import assert_is_induced_subgraph, vertex_set_family
+
+
+class TestValidation:
+    def test_k_zero_raises(self, triangle):
+        with pytest.raises(ValueError):
+            enumerate_kvccs(triangle, 0)
+
+    def test_negative_k_raises(self, triangle):
+        with pytest.raises(ValueError):
+            enumerate_kvccs(triangle, -3)
+
+    def test_empty_graph(self):
+        assert enumerate_kvccs(Graph(), 2) == []
+
+    def test_input_not_modified(self, figure1):
+        g, _ = figure1
+        before = g.copy()
+        enumerate_kvccs(g, 4)
+        assert g == before
+
+
+class TestSmallGraphs:
+    def test_k1_is_nontrivial_components(self):
+        g = Graph([(0, 1), (2, 3), (3, 4)], vertices=[9])
+        result = vertex_set_family(enumerate_kvccs(g, 1))
+        assert result == {frozenset({0, 1}), frozenset({2, 3, 4})}
+
+    def test_single_edge_k2_empty(self):
+        assert enumerate_kvccs(Graph([(0, 1)]), 2) == []
+
+    def test_clique_is_its_own_kvcc(self, k5):
+        for k in (1, 2, 3, 4):
+            result = enumerate_kvccs(k5, k)
+            assert vertex_set_family(result) == {frozenset(range(5))}
+        assert enumerate_kvccs(k5, 5) == []  # needs |V| > k
+
+    def test_cycle_is_2vcc(self):
+        g = cycle_graph(7)
+        assert vertex_set_family(enumerate_kvccs(g, 2)) == {
+            frozenset(range(7))
+        }
+        assert enumerate_kvccs(g, 3) == []
+
+    def test_two_triangles_sharing_vertex(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+        result = vertex_set_family(enumerate_kvccs(g, 2))
+        assert result == {frozenset({0, 1, 2}), frozenset({2, 3, 4})}
+
+
+class TestFigure1:
+    """The paper's running example, all claims from Section 1/2."""
+
+    def test_4vccs_are_the_blocks(self, figure1):
+        g, blocks = figure1
+        result = vertex_set_family(enumerate_kvccs(g, 4))
+        assert result == vertex_set_family(blocks.values())
+
+    def test_union_g1_g2_not_a_4vcc(self, figure1):
+        """G1 ∪ G2 is disconnected by removing the two shared vertices."""
+        g, blocks = figure1
+        result = vertex_set_family(enumerate_kvccs(g, 4))
+        assert frozenset(blocks["G1"] | blocks["G2"]) not in result
+
+    def test_results_are_induced_subgraphs(self, figure1):
+        g, _ = figure1
+        for sub in enumerate_kvccs(g, 4):
+            assert_is_induced_subgraph(sub, g)
+
+    def test_overlap_vertices(self, figure1):
+        """Vertices a=4, b=5 are in two 4-VCCs; c=9 in two."""
+        g, _ = figure1
+        counts = {}
+        for sub in enumerate_kvccs(g, 4):
+            for v in sub.vertices():
+                counts[v] = counts.get(v, 0) + 1
+        assert counts[4] == 2 and counts[5] == 2 and counts[9] == 2
+        assert sum(1 for c in counts.values() if c > 1) == 3
+
+    def test_k5_returns_full_blocks(self, figure1):
+        """At k = 5 each K6 block is still 5-connected."""
+        g, blocks = figure1
+        result = vertex_set_family(enumerate_kvccs(g, 5))
+        assert result == vertex_set_family(blocks.values())
+
+    def test_k6_empty(self, figure1):
+        g, _ = figure1
+        assert enumerate_kvccs(g, 6) == []
+
+
+class TestStructuredFamilies:
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(num_cliques=5, clique_size=6)
+        result = vertex_set_family(enumerate_kvccs(g, 4))
+        expected = {
+            frozenset(range(c * 6, (c + 1) * 6)) for c in range(5)
+        }
+        assert result == expected
+
+    def test_overlapping_chain(self):
+        g = overlapping_cliques_graph(clique_size=6, num_cliques=4, overlap=2)
+        blocks = clique_membership_for_chain(6, 4, 2)
+        result = vertex_set_family(enumerate_kvccs(g, 3))
+        assert result == vertex_set_family(blocks)
+
+    def test_planted(self):
+        g, blocks = planted_kvcc_graph(
+            k=4, num_blocks=6, block_size=7, overlap=2, bridge_edges=1,
+            seed=11,
+        )
+        result = vertex_set_family(enumerate_kvccs(g, 4))
+        assert result == vertex_set_family(blocks)
+
+    def test_planted_higher_k_shrinks(self):
+        g, blocks = planted_kvcc_graph(
+            k=4, num_blocks=3, block_size=6, overlap=1, seed=2
+        )
+        # Blocks are K6: 5-connected, so k=5 still returns them...
+        assert len(enumerate_kvccs(g, 5)) == 3
+        # ...but k=6 exceeds block connectivity.
+        assert enumerate_kvccs(g, 6) == []
+
+
+class TestStats:
+    def test_counters_populated(self, figure1):
+        g, _ = figure1
+        stats = RunStats(k=4)
+        enumerate_kvccs(g, 4, VARIANTS["VCCE*"], stats)
+        assert stats.kvccs_found == 4
+        assert stats.partitions >= 2
+        assert stats.global_cut_calls >= stats.partitions
+        assert stats.elapsed_seconds > 0
+        assert stats.peak_resident_vertices >= 21
+
+    def test_kcore_removal_counted(self):
+        # A triangle with a pendant: peeling at k=2 removes 1 vertex.
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        stats = RunStats(k=2)
+        enumerate_kvccs(g, 2, stats=stats)
+        assert stats.kcore_removed_vertices == 1
+
+
+class TestVccsContaining:
+    def test_hub_query(self, figure1):
+        g, blocks = figure1
+        result = vertex_set_family(vccs_containing(g, 4, 4))  # vertex a
+        assert result == {frozenset(blocks["G1"]), frozenset(blocks["G2"])}
+
+    def test_vertex_outside_core(self):
+        g = Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert vccs_containing(g, 2, 3) == []
+
+    def test_missing_vertex(self, triangle):
+        assert vccs_containing(triangle, 2, 99) == []
+
+    def test_single_membership(self, clique_ring):
+        result = vccs_containing(clique_ring, 4, 7)
+        assert len(result) == 1
+        assert 7 in result[0]
+
+
+class TestVccsContainingConsistency:
+    def test_matches_filtered_enumeration(self):
+        """vccs_containing(g, k, v) equals filtering the full result."""
+        from repro.graph.generators import gnp_random_graph
+
+        for seed in range(8):
+            g = gnp_random_graph(13, 0.4, seed=seed * 11 + 2)
+            full = enumerate_kvccs(g, 3)
+            for v in sorted(g.vertices())[:5]:
+                want = vertex_set_family(
+                    sub for sub in full if v in sub
+                )
+                got = vertex_set_family(vccs_containing(g, 3, v))
+                assert got == want, (seed, v)
+
+
+class TestVertexSetsHelper:
+    def test_matches_graphs(self, figure1):
+        g, _ = figure1
+        sets = kvcc_vertex_sets(g, 4)
+        graphs = enumerate_kvccs(g, 4)
+        assert vertex_set_family(sets) == vertex_set_family(graphs)

@@ -1,0 +1,92 @@
+"""Randomized cross-validation of KVCC-ENUM against independent oracles.
+
+Three oracles:
+
+* :func:`repro.baselines.naive.naive_kvccs` - brute-force cut search in
+  the same partition framework;
+* ``networkx.k_components`` - the Moody-White hierarchy (its level-k
+  node sets of size > k are exactly the k-VCC vertex sets);
+* ``networkx.node_connectivity`` - to verify each returned component is
+  really k-connected.
+
+All four algorithm variants must agree with the oracles and each other.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.naive import naive_kvccs
+from repro.core.kvcc import kvcc_vertex_sets
+from repro.core.variants import VARIANTS
+from repro.graph.generators import gnm_random_graph, gnp_random_graph
+
+from conftest import random_connected_graph, vertex_set_family
+
+
+def reference(graph, k):
+    return vertex_set_family(naive_kvccs(graph, k))
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("variant", list(VARIANTS))
+    def test_random_gnp(self, variant):
+        for seed in range(20):
+            g = gnp_random_graph(12, 0.35 + (seed % 4) * 0.1, seed=seed)
+            for k in (2, 3, 4):
+                got = vertex_set_family(
+                    kvcc_vertex_sets(g, k, VARIANTS[variant])
+                )
+                assert got == reference(g, k), (variant, seed, k)
+
+    @pytest.mark.parametrize("variant", list(VARIANTS))
+    def test_random_connected(self, variant):
+        for seed in range(15):
+            g = random_connected_graph(11, 0.4, seed=seed + 500)
+            for k in (2, 3):
+                got = vertex_set_family(
+                    kvcc_vertex_sets(g, k, VARIANTS[variant])
+                )
+                assert got == reference(g, k), (variant, seed, k)
+
+    def test_sparser_graphs(self):
+        for seed in range(15):
+            g = gnm_random_graph(14, 20, seed=seed)
+            for k in (2, 3):
+                got = vertex_set_family(kvcc_vertex_sets(g, k))
+                assert got == reference(g, k), (seed, k)
+
+
+class TestAgainstNetworkx:
+    def test_k_components_levels(self):
+        for seed in range(12):
+            g = gnp_random_graph(13, 0.4, seed=seed + 90)
+            nxg = g.to_networkx()
+            levels = nx.algorithms.connectivity.k_components(nxg)
+            for k in (2, 3):
+                want = {
+                    frozenset(s) for s in levels.get(k, []) if len(s) > k
+                }
+                got = vertex_set_family(kvcc_vertex_sets(g, k))
+                assert got == want, (seed, k)
+
+    def test_components_are_k_connected(self):
+        for seed in range(12):
+            g = gnp_random_graph(12, 0.5, seed=seed + 300)
+            for k in (2, 3, 4):
+                for component in kvcc_vertex_sets(g, k):
+                    sub = g.induced_subgraph(component).to_networkx()
+                    assert len(component) > k
+                    assert nx.node_connectivity(sub) >= k
+
+
+class TestVariantAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000), st.integers(2, 4), st.floats(0.25, 0.6))
+    def test_all_variants_identical(self, seed, k, p):
+        g = gnp_random_graph(12, p, seed=seed)
+        results = [
+            vertex_set_family(kvcc_vertex_sets(g, k, options))
+            for options in VARIANTS.values()
+        ]
+        assert all(r == results[0] for r in results[1:])

@@ -1,0 +1,120 @@
+"""The paper's structural theorems, asserted as properties of the output.
+
+Section 2.2's four selling points plus the counting lemmas:
+
+* Property 1  - any two k-VCCs overlap in fewer than k vertices;
+* Theorem 2   - diam(G_i) <= floor((|V_i| - 2) / kappa(G_i)) + 1;
+* Theorem 3   - every k-VCC is nested in a k-ECC and in a k-core;
+* Theorem 6   - there are fewer than n/2 k-VCCs;
+* Lemma 3     - no returned subgraph contains another (redundancy-free);
+* Definition 2 - every component has more than k vertices.
+"""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.kcore_cc import k_core_components
+from repro.baselines.kecc import k_ecc_components
+from repro.core.kvcc import kvcc_vertex_sets
+from repro.graph.generators import gnp_random_graph
+from repro.graph.metrics import diameter
+from repro.graph.graph import Graph
+
+from conftest import random_connected_graph
+
+
+def graphs_for_property_tests():
+    for seed in range(10):
+        yield gnp_random_graph(13, 0.35 + (seed % 3) * 0.1, seed=seed * 13)
+    for seed in range(5):
+        yield random_connected_graph(12, 0.5, seed=seed + 77)
+
+
+class TestStructuralProperties:
+    def test_minimum_size(self):
+        for g in graphs_for_property_tests():
+            for k in (2, 3, 4):
+                for comp in kvcc_vertex_sets(g, k):
+                    assert len(comp) > k
+
+    def test_overlap_bound_property1(self):
+        for g in graphs_for_property_tests():
+            for k in (2, 3):
+                comps = kvcc_vertex_sets(g, k)
+                for i, a in enumerate(comps):
+                    for b in comps[i + 1 :]:
+                        assert len(a & b) < k
+
+    def test_redundancy_free_lemma3(self):
+        for g in graphs_for_property_tests():
+            for k in (2, 3):
+                comps = kvcc_vertex_sets(g, k)
+                for i, a in enumerate(comps):
+                    for j, b in enumerate(comps):
+                        if i != j:
+                            assert not a <= b
+
+    def test_count_bound_theorem6(self):
+        for g in graphs_for_property_tests():
+            for k in (2, 3):
+                comps = kvcc_vertex_sets(g, k)
+                assert len(comps) < max(1, g.num_vertices / 2 + 1)
+
+    def test_diameter_bound_theorem2(self):
+        for g in graphs_for_property_tests():
+            for k in (2, 3):
+                for comp in kvcc_vertex_sets(g, k):
+                    sub = g.induced_subgraph(comp)
+                    kappa = nx.node_connectivity(sub.to_networkx())
+                    bound = (len(comp) - 2) // kappa + 1
+                    assert diameter(sub) <= bound
+
+    def test_nesting_theorem3(self):
+        """k-VCC ⊆ some k-ECC ⊆ some k-core component."""
+        for g in graphs_for_property_tests():
+            for k in (2, 3):
+                eccs = k_ecc_components(g, k)
+                cores = k_core_components(g, k)
+                for comp in kvcc_vertex_sets(g, k):
+                    assert any(comp <= e for e in eccs), (k, comp)
+                for e in eccs:
+                    assert any(e <= c for c in cores), (k, e)
+
+    def test_vertices_in_some_kvcc_iff_in_k_components(self):
+        """The union of k-VCC vertices matches networkx's level-k union."""
+        for seed in range(8):
+            g = gnp_random_graph(12, 0.45, seed=seed + 40)
+            nxg = g.to_networkx()
+            levels = nx.algorithms.connectivity.k_components(nxg)
+            for k in (2, 3):
+                ours = set().union(*kvcc_vertex_sets(g, k), set())
+                theirs = set().union(
+                    *(s for s in levels.get(k, []) if len(s) > k), set()
+                )
+                assert ours == theirs
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 50_000), st.floats(0.2, 0.6), st.integers(2, 4))
+def test_every_component_k_connected_property(seed, p, k):
+    """Lemma 1 as a hypothesis property: each returned subgraph really is
+    k-vertex-connected (networkx oracle)."""
+    g = gnp_random_graph(11, p, seed=seed)
+    for comp in kvcc_vertex_sets(g, k):
+        sub = g.induced_subgraph(comp)
+        assert len(comp) > k
+        assert nx.node_connectivity(sub.to_networkx()) >= k
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 50_000), st.integers(2, 3))
+def test_completeness_property(seed, k):
+    """Lemma 2 as a property: any k-connected induced subgraph of G is
+    contained in some returned k-VCC.  Checked via networkx k_components
+    (whose level-k sets are maximal k-connected subgraphs)."""
+    g = gnp_random_graph(10, 0.5, seed=seed)
+    comps = kvcc_vertex_sets(g, k)
+    levels = nx.algorithms.connectivity.k_components(g.to_networkx())
+    for s in levels.get(k, []):
+        if len(s) > k:
+            assert any(set(s) <= c for c in comps)

@@ -1,0 +1,117 @@
+"""Hypothesis property tests on structured families with known answers.
+
+Random *parameters*, deterministic *ground truth*: clique chains and
+planted block graphs admit closed-form k-VCC decompositions, so these
+tests exercise the full pipeline (peel, certificate, flow, sweeps,
+partition) against exact expectations across a wide parameter space -
+no oracle needed, so sizes can be larger than the naive-comparison
+tests allow.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kvcc import enumerate_kvccs, kvcc_vertex_sets
+from repro.core.variants import VARIANTS
+from repro.graph.generators import (
+    clique_membership_for_chain,
+    overlapping_cliques_graph,
+    planted_kvcc_graph,
+    ring_of_cliques,
+)
+from repro.graph.graph import Graph
+
+from conftest import vertex_set_family
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    k=st.integers(2, 5),
+    num_blocks=st.integers(2, 5),
+    extra=st.integers(0, 3),  # block_size = k + 1 + extra
+    data=st.data(),
+)
+def test_planted_blocks_recovered_exactly(k, num_blocks, extra, data):
+    block_size = k + 1 + extra
+    overlap = data.draw(st.integers(0, k - 1))
+    bridges = data.draw(st.integers(0, k - 1 - overlap))
+    graph, blocks = planted_kvcc_graph(
+        k=k,
+        num_blocks=num_blocks,
+        block_size=block_size,
+        overlap=overlap,
+        bridge_edges=bridges,
+        seed=data.draw(st.integers(0, 10_000)),
+    )
+    got = vertex_set_family(kvcc_vertex_sets(graph, k))
+    assert got == vertex_set_family(blocks)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    clique_size=st.integers(4, 8),
+    num_cliques=st.integers(2, 5),
+    data=st.data(),
+)
+def test_clique_chain_recovered_at_every_valid_k(
+    clique_size, num_cliques, data
+):
+    overlap = data.draw(st.integers(1, clique_size - 2))
+    graph = overlapping_cliques_graph(clique_size, num_cliques, overlap)
+    blocks = clique_membership_for_chain(clique_size, num_cliques, overlap)
+    # For overlap < k <= clique_size - 1 the k-VCCs are the cliques.
+    for k in range(overlap + 1, clique_size):
+        got = vertex_set_family(kvcc_vertex_sets(graph, k))
+        assert got == vertex_set_family(blocks), k
+    # For k <= overlap the chain is k-connected end to end: one k-VCC.
+    for k in range(1, overlap + 1):
+        got = kvcc_vertex_sets(graph, k)
+        assert len(got) == 1
+        assert got[0] == graph.vertex_set()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_cliques=st.integers(3, 6),
+    clique_size=st.integers(4, 7),
+    variant=st.sampled_from(sorted(VARIANTS)),
+)
+def test_ring_of_cliques_all_variants(num_cliques, clique_size, variant):
+    graph = ring_of_cliques(num_cliques, clique_size)
+    expected = {
+        frozenset(range(c * clique_size, (c + 1) * clique_size))
+        for c in range(num_cliques)
+    }
+    # Ring edges contribute connectivity 2; cliques split for k >= 3.
+    for k in range(3, clique_size):
+        got = vertex_set_family(
+            kvcc_vertex_sets(graph, k, VARIANTS[variant])
+        )
+        assert got == expected, (variant, k)
+
+
+def test_string_labeled_graph():
+    """Vertex labels need not be integers or mutually comparable ints."""
+    g = Graph()
+    left = ["a", "b", "c", "d"]
+    right = ["w", "x", "y", "z"]
+    for group in (left, right):
+        for i, u in enumerate(group):
+            for v in group[i + 1 :]:
+                g.add_edge(u, v)
+    g.add_edge("a", "w")  # thin bridge
+    got = vertex_set_family(enumerate_kvccs(g, 3))
+    assert got == {frozenset(left), frozenset(right)}
+
+
+def test_mixed_label_types():
+    """Ints and strings can coexist (hash-based structures throughout)."""
+    g = Graph()
+    block_a = [0, 1, 2, 3]
+    block_b = ["p", "q", "r", "s"]
+    for group in (block_a, block_b):
+        for i, u in enumerate(group):
+            for v in group[i + 1 :]:
+                g.add_edge(u, v)
+    g.add_edge(0, "p")
+    got = vertex_set_family(enumerate_kvccs(g, 3))
+    assert got == {frozenset(block_a), frozenset(block_b)}

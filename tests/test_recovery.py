@@ -1,0 +1,83 @@
+"""Tests for the community-recovery extension experiment."""
+
+import pytest
+
+from repro.experiments.recovery import (
+    format_recovery,
+    jaccard,
+    match_score,
+    planted_communities_graph,
+    run_recovery,
+)
+
+
+class TestScoring:
+    def test_jaccard(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+        assert jaccard({1, 2}, {3, 4}) == 0.0
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+        assert jaccard(set(), set()) == 1.0
+
+    def test_match_score_perfect(self):
+        truth = [{1, 2, 3}, {4, 5, 6}]
+        p, r, f1 = match_score(truth, truth)
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_match_score_empty_detection(self):
+        assert match_score([], [{1, 2}]) == (0.0, 0.0, 0.0)
+
+    def test_match_score_partial(self):
+        truth = [{1, 2, 3, 4}, {5, 6, 7, 8}]
+        detected = [{1, 2, 3, 4}]  # one community missed
+        p, r, f1 = match_score(detected, truth)
+        assert p == 1.0
+        assert r == pytest.approx(0.5)
+        assert 0 < f1 < 1
+
+
+class TestPlantedGraph:
+    def test_shape(self):
+        g, truth = planted_communities_graph(
+            communities=3, size=10, brokers=2, broker_degree=3, seed=4
+        )
+        assert g.num_vertices == 32  # 30 members + 2 brokers
+        assert len(truth) == 3
+        # Brokers connect to every community.
+        for b in (30, 31):
+            assert g.degree(b) == 9
+
+    def test_brokers_not_in_truth(self):
+        g, truth = planted_communities_graph(
+            communities=3, size=10, brokers=2, broker_degree=3, seed=4
+        )
+        members = set().union(*truth)
+        assert 30 not in members and 31 not in members
+
+
+class TestRunRecovery:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_recovery(k=6, broker_degrees=(2, 6), seed=1)
+
+    def test_models_present(self, rows):
+        assert {r.model for r in rows} == {"k-CC", "k-ECC", "k-VCC"}
+
+    def test_kvcc_dominates(self, rows):
+        """The quantitative free-rider claim: F1(k-VCC) beats both
+        baselines at every broker level."""
+        by_level = {}
+        for r in rows:
+            by_level.setdefault(r.broker_degree, {})[r.model] = r
+        for level, models in by_level.items():
+            assert models["k-VCC"].f1 >= models["k-ECC"].f1, level
+            assert models["k-VCC"].f1 >= models["k-CC"].f1, level
+            assert models["k-VCC"].f1 > 0.8, level
+
+    def test_baselines_collapse(self, rows):
+        """The brokers glue the communities for edge/degree models."""
+        ecc = [r for r in rows if r.model == "k-ECC"]
+        assert any(r.detected == 1 for r in ecc)
+
+    def test_format(self, rows):
+        out = format_recovery(rows)
+        assert "broker degree" in out and "F1" in out

@@ -1,0 +1,45 @@
+"""Golden regression tests: exact k-VCC counts on the seeded stand-ins.
+
+Every generator and the whole enumeration pipeline are deterministic,
+so the component counts per (dataset, k) are stable constants.  A
+change to any of them means either a generator change (update the
+constants deliberately) or an enumeration bug (investigate).  The
+values below were produced by the validated pipeline (cross-checked
+against naive enumeration and networkx on small graphs) and match
+harness_full.txt.
+"""
+
+import pytest
+
+from repro.core.kvcc import kvcc_vertex_sets
+from repro.datasets.registry import load_dataset
+
+#: (dataset, k) -> expected number of k-VCCs.
+GOLDEN_COUNTS = {
+    ("dblp", 7): 33,
+    ("dblp", 14): 4,
+    ("cit", 3): 3,
+    ("cit", 6): 2,
+    ("youtube", 8): 5,
+    ("youtube", 14): 2,
+}
+
+
+@pytest.mark.parametrize(
+    "dataset,k",
+    sorted(GOLDEN_COUNTS),
+    ids=[f"{d}-k{k}" for d, k in sorted(GOLDEN_COUNTS)],
+)
+def test_golden_counts(dataset, k):
+    graph = load_dataset(dataset)
+    components = kvcc_vertex_sets(graph, k)
+    assert len(components) == GOLDEN_COUNTS[(dataset, k)]
+
+
+def test_golden_overlap_dblp():
+    """dblp at k=7 shows genuine overlap (147 duplicated vertices)."""
+    graph = load_dataset("dblp")
+    components = kvcc_vertex_sets(graph, 7)
+    total = sum(len(c) for c in components)
+    distinct = len(set().union(*components))
+    assert total - distinct == 147

@@ -1,0 +1,125 @@
+"""Tests for RunStats, Timer and KVCCOptions."""
+
+import time
+
+import pytest
+
+from repro.core.options import KVCCOptions
+from repro.core.stats import (
+    PRUNE_GS,
+    PRUNE_NS1,
+    PRUNE_NS2,
+    RunStats,
+    Timer,
+)
+from repro.core.variants import VARIANTS
+
+
+class TestRunStats:
+    def test_defaults(self):
+        stats = RunStats()
+        assert stats.flow_tests == 0
+        assert stats.phase1_total() == 0
+
+    def test_record_prune(self):
+        stats = RunStats()
+        stats.record_prune(PRUNE_NS1)
+        stats.record_prune(PRUNE_NS1)
+        stats.record_prune(PRUNE_GS)
+        stats.record_prune("unknown-rule")  # silently ignored
+        assert stats.phase1_pruned[PRUNE_NS1] == 2
+        assert stats.phase1_pruned[PRUNE_GS] == 1
+
+    def test_proportions_empty(self):
+        props = RunStats().prune_proportions()
+        assert props["non_pruned"] == 0.0
+
+    def test_proportions_sum_to_one(self):
+        stats = RunStats()
+        stats.phase1_tested = 5
+        stats.phase1_pruned[PRUNE_NS1] = 3
+        stats.phase1_pruned[PRUNE_NS2] = 1
+        stats.phase1_pruned[PRUNE_GS] = 1
+        props = stats.prune_proportions()
+        assert sum(props.values()) == pytest.approx(1.0)
+        assert props[PRUNE_NS1] == pytest.approx(0.3)
+        assert props["non_pruned"] == pytest.approx(0.5)
+
+    def test_merge(self):
+        a = RunStats()
+        a.flow_tests = 3
+        a.phase1_tested = 2
+        a.peak_resident_vertices = 100
+        b = RunStats()
+        b.flow_tests = 4
+        b.phase1_pruned[PRUNE_NS2] = 7
+        b.peak_resident_vertices = 50
+        b.elapsed_seconds = 1.5
+        a.merge(b)
+        assert a.flow_tests == 7
+        assert a.phase1_pruned[PRUNE_NS2] == 7
+        assert a.peak_resident_vertices == 100  # max, not sum
+        assert a.elapsed_seconds == 1.5
+
+    def test_timer(self):
+        stats = RunStats()
+        with Timer(stats):
+            time.sleep(0.01)
+        assert stats.elapsed_seconds >= 0.01
+        with Timer(stats):
+            pass
+        assert stats.elapsed_seconds >= 0.01  # accumulates
+
+
+class TestKVCCOptions:
+    def test_default_is_fully_optimized(self):
+        opts = KVCCOptions()
+        assert opts.neighbor_sweep and opts.group_sweep
+        assert opts.use_certificate
+        assert opts.side_vertices_enabled
+
+    def test_side_vertices_enabled_logic(self):
+        assert not KVCCOptions(
+            neighbor_sweep=False, group_sweep=False
+        ).side_vertices_enabled
+        assert KVCCOptions(
+            neighbor_sweep=True, group_sweep=False
+        ).side_vertices_enabled
+        assert KVCCOptions(
+            neighbor_sweep=False, group_sweep=True
+        ).side_vertices_enabled
+
+    def test_describe(self):
+        assert KVCCOptions().describe() == "NS+GS"
+        assert (
+            KVCCOptions(neighbor_sweep=False, group_sweep=False).describe()
+            == "basic"
+        )
+        assert "nocert" in KVCCOptions(use_certificate=False).describe()
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            KVCCOptions().neighbor_sweep = False  # type: ignore[misc]
+
+
+class TestVariantPresets:
+    def test_four_variants(self):
+        assert set(VARIANTS) == {"VCCE", "VCCE-N", "VCCE-G", "VCCE*"}
+
+    def test_vcce_is_basic(self):
+        opts = VARIANTS["VCCE"]
+        assert not opts.neighbor_sweep
+        assert not opts.group_sweep
+        assert opts.use_certificate  # the basic algorithm keeps the cert
+
+    def test_vcce_n(self):
+        opts = VARIANTS["VCCE-N"]
+        assert opts.neighbor_sweep and not opts.group_sweep
+
+    def test_vcce_g(self):
+        opts = VARIANTS["VCCE-G"]
+        assert opts.group_sweep and not opts.neighbor_sweep
+
+    def test_vcce_star(self):
+        opts = VARIANTS["VCCE*"]
+        assert opts.neighbor_sweep and opts.group_sweep

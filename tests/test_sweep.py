@@ -1,0 +1,143 @@
+"""Unit tests for the SWEEP machinery (Algorithm 4)."""
+
+from repro.core.stats import PRUNE_GS, PRUNE_NS1, PRUNE_NS2, PRUNE_SOURCE, TESTED
+from repro.core.sweep import SweepState
+from repro.graph.generators import complete_graph, cycle_graph
+from repro.graph.graph import Graph
+
+
+def make_state(graph, k, strong=(), groups=None, ns=True, gs=True):
+    return SweepState(
+        adjacency=graph,
+        k=k,
+        strong=set(strong),
+        groups=groups or [],
+        neighbor_sweep=ns,
+        group_sweep=gs,
+    )
+
+
+class TestBasicSweep:
+    def test_sweep_marks_vertex(self):
+        g = cycle_graph(5)
+        state = make_state(g, 2)
+        state.sweep(0)
+        assert state.is_swept(0)
+        assert state.reason[0] == PRUNE_SOURCE
+
+    def test_sweep_idempotent(self):
+        g = cycle_graph(5)
+        state = make_state(g, 2)
+        state.sweep(0)
+        state.sweep(0, TESTED)
+        assert state.reason[0] == PRUNE_SOURCE  # first reason sticks
+
+    def test_no_strategies_no_cascade(self):
+        g = complete_graph(5)
+        state = make_state(g, 2, ns=False, gs=False)
+        state.sweep(0)
+        assert state.swept == {0}
+
+
+class TestVertexDeposit:
+    def test_deposit_incremented(self):
+        g = cycle_graph(5)
+        state = make_state(g, 3)
+        state.sweep(0)
+        assert state.deposit[1] == 1
+        assert state.deposit[4] == 1
+
+    def test_deposit_k_triggers_sweep(self):
+        """NS rule 2: a vertex with k swept neighbors is swept."""
+        # Star-like: center 9 adjacent to 0,1,2; k=3.
+        g = Graph([(9, 0), (9, 1), (9, 2), (0, 1), (1, 2)])
+        state = make_state(g, 3, gs=False)
+        state.sweep(0, TESTED)
+        state.sweep(1, TESTED)
+        assert not state.is_swept(9)
+        state.sweep(2, TESTED)
+        assert state.is_swept(9)
+        assert state.reason[9] == PRUNE_NS2
+
+    def test_swept_neighbor_not_redeposited(self):
+        g = complete_graph(4)
+        state = make_state(g, 10, gs=False)
+        state.sweep(0)
+        state.sweep(1, TESTED)
+        # 0 already swept: its deposit must not grow.
+        assert 0 not in state.deposit or state.deposit[0] == 0
+
+
+class TestStrongSideVertexRule:
+    def test_ns1_sweeps_all_neighbors(self):
+        """NS rule 1: sweeping a strong side-vertex sweeps its neighbors."""
+        g = complete_graph(5)
+        state = make_state(g, 3, strong={0}, gs=False)
+        state.sweep(0, TESTED)
+        assert state.swept == {0, 1, 2, 3, 4}
+        assert all(state.reason[v] == PRUNE_NS1 for v in (1, 2, 3, 4))
+
+    def test_cascade_through_strong_vertices(self):
+        # Chain of strong vertices: 0 strong sweeps 1; 1 strong sweeps 2.
+        g = Graph([(0, 1), (1, 2)])
+        state = make_state(g, 5, strong={0, 1}, gs=False)
+        state.sweep(0)
+        assert state.is_swept(2)
+
+    def test_two_hop_deposit_via_strong(self):
+        """Example 8: neighbors of swept vertices deposit on 2-hop ring."""
+        g = Graph([(0, 1), (1, 2), (0, 3), (3, 4)])
+        state = make_state(g, 9, strong={0}, gs=False)
+        state.sweep(0)
+        # 1, 3 swept by NS1; their neighbors 2, 4 got deposits.
+        assert state.deposit[2] == 1
+        assert state.deposit[4] == 1
+
+
+class TestGroupSweep:
+    def test_group_deposit_k_sweeps_group(self):
+        """GS rule 2: k swept members sweep the whole group."""
+        g = cycle_graph(8)
+        group = {0, 1, 2, 3, 4, 5}
+        state = make_state(g, 2, groups=[group], ns=False)
+        state.sweep(0, TESTED)
+        state.sweep(2, TESTED)  # second member reaches k=2
+        assert group <= state.swept
+        assert state.reason[4] == PRUNE_GS
+
+    def test_strong_member_sweeps_group_immediately(self):
+        """GS rule 1: one strong side-vertex member suffices."""
+        g = cycle_graph(8)
+        group = {0, 1, 2, 3, 4}
+        state = make_state(g, 4, strong={0}, groups=[group], ns=False)
+        state.sweep(0, TESTED)
+        assert group <= state.swept
+
+    def test_group_processed_once(self):
+        g = cycle_graph(6)
+        group = {0, 1, 2, 3}
+        state = make_state(g, 2, groups=[group], ns=False)
+        state.sweep(0, TESTED)
+        state.sweep(1, TESTED)
+        assert state.group_done[0]
+        deposit_after = state.g_deposit[0]
+        state.sweep(5, TESTED)
+        assert state.g_deposit[0] == deposit_after  # no further counting
+
+    def test_same_group_query(self):
+        g = cycle_graph(6)
+        state = make_state(g, 2, groups=[{0, 1, 2}, {3, 4}])
+        assert state.same_group(0, 2)
+        assert not state.same_group(0, 3)
+        assert not state.same_group(0, 5)  # 5 ungrouped
+
+    def test_group_and_neighbor_cascade_interact(self):
+        """A group sweep can trigger deposits that trigger NS rule 2."""
+        # Group {0,1,2}; vertex 9 adjacent to all three; k=2.
+        g = Graph([(0, 1), (1, 2), (9, 0), (9, 1), (9, 2)])
+        state = make_state(g, 2, groups=[{0, 1, 2}])
+        state.sweep(0, TESTED)
+        # 0 swept: deposits on 1, 9; group deposit 1.
+        state.sweep(1, TESTED)
+        # group reaches k=2 -> sweeps 2 -> deposit on 9 reaches 2+ -> NS2.
+        assert state.is_swept(9)

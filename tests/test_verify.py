@@ -1,0 +1,83 @@
+"""Tests for the independent decomposition verifier."""
+
+import pytest
+
+from repro.core.kvcc import enumerate_kvccs, kvcc_vertex_sets
+from repro.core.verify import verify_kvccs
+from repro.graph.generators import (
+    complete_graph,
+    figure1_graph,
+    gnp_random_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestValidDecompositions:
+    def test_figure1(self):
+        g, _ = figure1_graph()
+        comps = enumerate_kvccs(g, 4)
+        report = verify_kvccs(g, comps, 4, thorough=True)
+        assert report.ok, report.problems
+
+    def test_random_graphs(self):
+        for seed in range(8):
+            g = gnp_random_graph(12, 0.45, seed=seed)
+            for k in (2, 3):
+                comps = kvcc_vertex_sets(g, k)
+                report = verify_kvccs(g, comps, k, thorough=True)
+                assert report.ok, (seed, k, report.problems)
+
+    def test_accepts_graphs_and_sets(self):
+        g = complete_graph(5)
+        as_graphs = enumerate_kvccs(g, 3)
+        as_sets = [set(c.vertices()) for c in as_graphs]
+        assert verify_kvccs(g, as_graphs, 3).ok
+        assert verify_kvccs(g, as_sets, 3).ok
+
+
+class TestInvalidDecompositions:
+    def test_too_small_component(self):
+        g = complete_graph(5)
+        report = verify_kvccs(g, [{0, 1, 2}], 3)
+        assert not report.ok
+        assert any("need > k" in p for p in report.problems)
+
+    def test_not_k_connected(self):
+        g = Graph([(0, 1), (1, 2), (2, 3), (3, 0)])  # cycle: 2-connected
+        report = verify_kvccs(g, [{0, 1, 2, 3}], 3)
+        assert any("not 3-vertex-connected" in p for p in report.problems)
+
+    def test_unknown_vertices(self):
+        g = complete_graph(4)
+        report = verify_kvccs(g, [{0, 1, 2, 99}], 2)
+        assert any("not in the graph" in p for p in report.problems)
+
+    def test_containment_flagged(self):
+        g = complete_graph(6)
+        report = verify_kvccs(g, [set(range(6)), set(range(4))], 3)
+        assert any("contained" in p for p in report.problems)
+
+    def test_excess_overlap_flagged(self):
+        g = complete_graph(8)
+        report = verify_kvccs(
+            g, [set(range(6)), set(range(2, 8))], 2
+        )
+        assert any("overlap" in p for p in report.problems)
+
+    def test_non_maximal_flagged(self):
+        g = complete_graph(6)
+        report = verify_kvccs(g, [set(range(5))], 3)
+        assert any("not maximal" in p for p in report.problems)
+
+    def test_thorough_catches_missing(self):
+        g, blocks = figure1_graph()
+        some = [blocks["G1"], blocks["G2"]]
+        report = verify_kvccs(g, some, 4, thorough=True)
+        assert any("missing" in p for p in report.problems)
+
+    def test_report_str(self):
+        g = complete_graph(5)
+        report = verify_kvccs(g, [{0, 1, 2}], 3)
+        assert "problem" in str(report)
+        ok = verify_kvccs(g, enumerate_kvccs(g, 3), 3)
+        assert "OK" in str(ok)

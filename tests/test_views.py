@@ -1,0 +1,50 @@
+"""Tests for relabeling helpers."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.views import canonical_form, dense_index, relabel
+
+
+class TestDenseIndex:
+    def test_bijection(self):
+        g = Graph([("a", "b"), ("b", "c")])
+        to_index, to_vertex = dense_index(g)
+        assert sorted(to_index.values()) == [0, 1, 2]
+        for v, i in to_index.items():
+            assert to_vertex[i] == v
+
+    def test_empty(self):
+        to_index, to_vertex = dense_index(Graph())
+        assert to_index == {} and to_vertex == []
+
+
+class TestRelabel:
+    def test_structure_preserved(self):
+        g = Graph([(0, 1), (1, 2)])
+        h = relabel(g, {0: "x", 1: "y", 2: "z"})
+        assert h.has_edge("x", "y")
+        assert h.has_edge("y", "z")
+        assert not h.has_edge("x", "z")
+
+    def test_non_injective_raises(self):
+        g = Graph([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            relabel(g, {0: "a", 1: "a", 2: "b"})
+
+    def test_isolated_vertices_kept(self):
+        g = Graph(vertices=[5, 6])
+        h = relabel(g, {5: 0, 6: 1})
+        assert h.num_vertices == 2
+
+
+class TestCanonicalForm:
+    def test_sorted_labels(self):
+        g = Graph([(10, 30), (30, 20)])
+        c = canonical_form(g)
+        assert set(c.vertices()) == {0, 1, 2}
+        assert c.has_edge(0, 2) and c.has_edge(1, 2)
+
+    def test_idempotent_on_canonical(self):
+        g = Graph([(0, 1), (1, 2)])
+        assert canonical_form(g) == g
