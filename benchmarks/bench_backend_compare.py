@@ -1,0 +1,124 @@
+"""Micro-benchmark: dict-Graph backend vs CSR-view backend.
+
+Times the two operations the tentpole refactor targets, on a mid-size
+generator graph:
+
+* **peel** - k-core peeling (``peel_in_place`` on a fresh dict copy vs
+  ``SubgraphView.peel`` on a fresh view over a shared CSR base);
+* **enumerate** - the full ``enumerate_kvccs`` pipeline per backend.
+
+Run directly (not under pytest-benchmark; this is a plain script so CI
+can execute it without extra plugins)::
+
+    PYTHONPATH=src python benchmarks/bench_backend_compare.py
+    PYTHONPATH=src python benchmarks/bench_backend_compare.py --quick
+
+The acceptance bar for the refactor is CSR >= 1.5x on this graph; the
+measured numbers are recorded in CHANGES.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.core.kvcc import enumerate_kvccs
+from repro.core.options import KVCCOptions
+from repro.graph.core_decomposition import peel_in_place
+from repro.graph.generators import ring_of_cliques, web_graph
+from repro.graph.graph import Graph
+
+
+def _mid_size_graph(quick: bool) -> Graph:
+    """The web-graph stand-in family the paper's datasets are modeled on."""
+    if quick:
+        return web_graph(600, seed=7)
+    return web_graph(2400, seed=7)
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_peel(graph: Graph, k: int, repeats: int) -> tuple:
+    csr = graph.to_csr()
+
+    def dict_peel():
+        peel_in_place(graph.copy(), k)
+
+    def csr_peel():
+        csr.full_view().peel(k)
+
+    return _time(dict_peel, repeats), _time(csr_peel, repeats)
+
+
+def bench_enumerate(graph: Graph, k: int, repeats: int) -> tuple:
+    dict_opts = KVCCOptions(backend="dict")
+    csr_opts = KVCCOptions(backend="csr")
+
+    t_dict = _time(lambda: enumerate_kvccs(graph, k, dict_opts), repeats)
+    t_csr = _time(lambda: enumerate_kvccs(graph, k, csr_opts), repeats)
+    n_dict = len(enumerate_kvccs(graph, k, dict_opts))
+    n_csr = len(enumerate_kvccs(graph, k, csr_opts))
+    assert n_dict == n_csr, f"backends disagree: {n_dict} != {n_csr}"
+    return t_dict, t_csr
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small graph / single repeat (CI smoke mode)",
+    )
+    parser.add_argument("-k", type=int, default=None, help="threshold")
+    args = parser.parse_args()
+
+    graph = _mid_size_graph(args.quick)
+    k = args.k if args.k is not None else 5
+    repeats = 1 if args.quick else 3
+
+    print(
+        f"graph: web_graph n={graph.num_vertices} "
+        f"m={graph.num_edges}, k={k}, best of {repeats}"
+    )
+
+    # Peel at the same threshold Algorithm 1 uses before enumerating:
+    # on the web-graph stand-in this removes a large low-degree fringe
+    # while keeping the dense cores - the representative k-core workload.
+    peel_k = k
+    t_dict, t_csr = bench_peel(graph, peel_k, repeats)
+    print(
+        f"peel (k={peel_k}):      dict {t_dict * 1e3:8.1f} ms   "
+        f"csr {t_csr * 1e3:8.1f} ms   speedup {t_dict / t_csr:5.2f}x"
+    )
+
+    t_dict, t_csr = bench_enumerate(graph, k, repeats)
+    speedup = t_dict / t_csr
+    print(
+        f"enumerate (k={k}):    dict {t_dict * 1e3:8.1f} ms   "
+        f"csr {t_csr * 1e3:8.1f} ms   speedup {speedup:5.2f}x"
+    )
+
+    if not args.quick:
+        # Secondary series: a partition-heavy shape (many small parts,
+        # worst case for mask-based views) to keep the comparison honest.
+        ring = ring_of_cliques(num_cliques=60, clique_size=12)
+        t_dict2, t_csr2 = bench_enumerate(ring, 6, repeats)
+        print(
+            f"enumerate ring60x12 (k=6): dict {t_dict2 * 1e3:8.1f} ms   "
+            f"csr {t_csr2 * 1e3:8.1f} ms   speedup {t_dict2 / t_csr2:5.2f}x"
+        )
+
+    if not args.quick and speedup < 1.5:
+        print("WARNING: CSR speedup below the 1.5x acceptance bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,9 +15,11 @@ computed on the graph minus the previous forests' edges.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from typing import Dict, Iterable, List, Set, Tuple
 
+from repro.graph.csr import SubgraphView
 from repro.graph.graph import Graph, Vertex
 
 ForestEdge = Tuple[Vertex, Vertex]
@@ -62,6 +64,75 @@ def scan_first_forest(
                 marked.add(v)
                 forest.append((u, v))
                 queue.append(v)
+    return forest
+
+
+def compact_view_adjacency(view: SubgraphView):
+    """Mask-filtered adjacency of a view, laid out for forest extraction.
+
+    Returns ``(verts, arows, aptr, total)``: the active vertex ids, a
+    per-base-id list of *active-only* sorted neighbor rows, each row's
+    offset into a contiguous slot space, and the total slot count.  The
+    k successive scan-first searches of the certificate construction
+    each touch every remaining edge; filtering the mask once here means
+    the passes themselves do no mask checks and skip inactive neighbors
+    entirely.
+    """
+    rows, mask = view.base.rows, view.mask
+    active = mask.__getitem__
+    verts: List[int] = view.active_list()
+    arows: List[List[int]] = [()] * len(mask)  # type: ignore[list-item]
+    aptr: List[int] = [0] * len(mask)
+    total = 0
+    for v in verts:
+        row = list(filter(active, rows[v]))
+        arows[v] = row
+        aptr[v] = total
+        total += len(row)
+    return verts, arows, aptr, total
+
+
+def scan_first_forest_csr(
+    verts: List[int],
+    arows: List[List[int]],
+    aptr: List[int],
+    used: bytearray,
+    n: int,
+) -> List[ForestEdge]:
+    """One scan-first forest over a compacted CSR view adjacency.
+
+    The dict-backend :func:`scan_first_forest` pays a ``frozenset``
+    allocation and hash per scanned edge to implement Theorem 5's
+    "minus previous forests" sequence; here ``used`` is a byte array
+    over the compacted slot space of :func:`compact_view_adjacency`
+    (each undirected edge owns two slots, one per endpoint row).  Newly
+    extracted forest edges are marked into ``used`` in place - both
+    directions, the reverse slot found by binary search in the sorted
+    neighbor row - so the caller can run the next extraction directly.
+    """
+    forest: List[ForestEdge] = []
+    marked = bytearray(n)
+    for root in verts:
+        if marked[root]:
+            continue
+        marked[root] = 1
+        queue = [root]
+        head = 0
+        while head < len(queue):
+            u = queue[head]  # scan u: mark all unvisited neighbors
+            head += 1
+            start = aptr[u]
+            # Cheapest rejection first: most neighbors are already
+            # marked, so their slot lookups never happen.
+            for j, w in enumerate(arows[u]):
+                if marked[w] or used[start + j]:
+                    continue
+                marked[w] = 1
+                forest.append((u, w))
+                used[start + j] = 1
+                # Reverse slot: u's position in w's sorted row.
+                used[aptr[w] + bisect_left(arows[w], u)] = 1
+                queue.append(w)
     return forest
 
 

@@ -17,13 +17,16 @@ Properties guaranteed by Cheriyan-Kao-Thurimella and exercised by tests:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set
+from typing import List, Set, Union
 
 from repro.certificate.scan_first_search import (
     ForestEdge,
+    compact_view_adjacency,
     forest_components,
     scan_first_forest,
+    scan_first_forest_csr,
 )
+from repro.graph.csr import IntAdjacency, SubgraphView
 from repro.graph.graph import Graph, Vertex
 
 
@@ -34,7 +37,10 @@ class SparseCertificate:
     Attributes
     ----------
     graph:
-        The certificate subgraph ``(V, E_1 ∪ ... ∪ E_k)``.
+        The certificate subgraph ``(V, E_1 ∪ ... ∪ E_k)`` - a dict
+        :class:`Graph` when built from one, an
+        :class:`~repro.graph.csr.IntAdjacency` over the base id space
+        when built from a CSR :class:`SubgraphView`.
     forests:
         The k scan-first forests, in extraction order (``forests[-1]`` is
         ``F_k``).
@@ -42,7 +48,7 @@ class SparseCertificate:
         The connectivity threshold the certificate was built for.
     """
 
-    graph: Graph
+    graph: Union[Graph, IntAdjacency]
     forests: List[List[ForestEdge]] = field(default_factory=list)
     k: int = 1
 
@@ -73,6 +79,8 @@ def sparse_certificate(graph: Graph, k: int) -> SparseCertificate:
     """
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
+    if isinstance(graph, SubgraphView):
+        return _sparse_certificate_view(graph, k)
     forests: List[List[ForestEdge]] = []
     used: Set[frozenset] = set()
     for _ in range(k):
@@ -86,6 +94,33 @@ def sparse_certificate(graph: Graph, k: int) -> SparseCertificate:
         if not forest:
             break
     cert = Graph(vertices=graph.vertices())
+    for forest in forests:
+        for u, v in forest:
+            cert.add_edge(u, v)
+    return SparseCertificate(graph=cert, forests=forests, k=k)
+
+
+def _sparse_certificate_view(view: SubgraphView, k: int) -> SparseCertificate:
+    """CSR-path certificate: forests over the view, adjacency over ids.
+
+    Consumed edges are tracked as byte flags on positions of the base's
+    ``indices`` array (no per-edge ``frozenset`` hashing), and the
+    certificate comes back as an :class:`IntAdjacency` in the base id
+    space, ready for the integer flow-network builder and the sweep
+    machinery.
+    """
+    base = view.base
+    verts, arows, aptr, total = compact_view_adjacency(view)
+    used = bytearray(total)
+    forests: List[List[ForestEdge]] = []
+    for _ in range(k):
+        forest = scan_first_forest_csr(verts, arows, aptr, used, base.n)
+        forests.append(forest)
+        # Early exit mirrors the dict path: an empty forest means no
+        # edges remain for any later forest either.
+        if not forest:
+            break
+    cert = IntAdjacency(base.n, verts)
     for forest in forests:
         for u, v in forest:
             cert.add_edge(u, v)

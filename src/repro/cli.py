@@ -55,11 +55,12 @@ def _parse_vertex(token: str):
 
 def cmd_kvcc(args: argparse.Namespace) -> int:
     """Enumerate the k-VCCs of an edge-list file."""
+    import dataclasses
+
     graph = read_edge_list(args.graph)
     stats = RunStats(k=args.k)
-    components = enumerate_kvccs(
-        graph, args.k, VARIANTS[args.variant], stats
-    )
+    options = dataclasses.replace(VARIANTS[args.variant], backend=args.backend)
+    components = enumerate_kvccs(graph, args.k, options, stats)
     print(
         f"{len(components)} {args.k}-VCC(s) in {stats.elapsed_seconds:.3f}s "
         f"({stats.flow_tests} local connectivity tests, "
@@ -149,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--variant", choices=sorted(VARIANTS), default="VCCE*",
         help="algorithm variant (default: VCCE*)",
+    )
+    p.add_argument(
+        "--backend", choices=("csr", "dict"), default="csr",
+        help="graph backend: zero-copy CSR views (default) or the "
+        "reference adjacency-set implementation",
     )
     p.add_argument("--out", help="write the decomposition to this JSON file")
     p.add_argument(

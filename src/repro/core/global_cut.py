@@ -57,6 +57,12 @@ def global_cut(
     passes a connected graph with more than ``k`` vertices, as KVCC-ENUM
     does after peeling).
 
+    ``graph`` may be a dict-backend :class:`Graph` or a CSR
+    :class:`~repro.graph.csr.SubgraphView`; every helper this routine
+    leans on (certificate, flow network, sweeps, side-vertices, BFS
+    ordering) dispatches to the matching dense implementation, so the
+    CSR enumeration path never converts back to dict form.
+
     Parameters
     ----------
     options:

@@ -16,11 +16,23 @@ Across partitions the driver maintains the strong side-vertex sets
 (Lemmas 15-16): a child inherits the parent's verdict for every vertex
 whose 1- and 2-hop neighborhoods survived both the partition and the
 child's k-core peel intact, and rechecks only the rest.
+
+Two backends share the worklist logic (selected by
+:attr:`~repro.core.options.KVCCOptions.backend`):
+
+* ``"csr"`` (default) - the input graph is interned once into an
+  immutable :class:`~repro.graph.csr.CSRGraph`; every worklist item is a
+  zero-copy :class:`~repro.graph.csr.SubgraphView` (byte mask + degree
+  array over the shared base).  Partitioning restricts masks instead of
+  copying adjacency, and only the *final* k-VCCs are materialized back
+  into labeled :class:`Graph` objects.
+* ``"dict"`` - the original adjacency-set path, kept as the reference
+  implementation; every recursion step copies an induced subgraph.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple, Union
 
 from repro.core.global_cut import global_cut
 from repro.core.options import KVCCOptions
@@ -29,11 +41,13 @@ from repro.core.side_vertex import split_inheritance, strong_side_vertices
 from repro.core.stats import RunStats, Timer
 from repro.graph.connectivity import connected_components
 from repro.graph.core_decomposition import peel_in_place
+from repro.graph.csr import SubgraphView
 from repro.graph.graph import Graph, Vertex
 
 #: Worklist entry: (subgraph, inherited strong set, recheck set).  The two
-#: sets are ``None`` for the roots, which get a full Theorem-8 scan.
-_WorkItem = Tuple[Graph, Optional[Set[Vertex]], Optional[Set[Vertex]]]
+#: sets are ``None`` for the roots, which get a full Theorem-8 scan.  The
+#: subgraph is a ``Graph`` on the dict backend, a ``SubgraphView`` on CSR.
+_WorkItem = Tuple[Union[Graph, SubgraphView], Optional[Set[Vertex]], Optional[Set[Vertex]]]
 
 
 def enumerate_kvccs(
@@ -53,7 +67,8 @@ def enumerate_kvccs(
         Connectivity threshold, ``k >= 1``.  For ``k = 1`` the result is
         the connected components with at least two vertices.
     options:
-        Strategy switches; the default is the fully optimized VCCE*.
+        Strategy switches; the default is the fully optimized VCCE* on
+        the CSR backend.
     stats:
         Optional counter sink (see :class:`~repro.core.stats.RunStats`);
         wall-clock time is accumulated into ``stats.elapsed_seconds``.
@@ -68,7 +83,7 @@ def enumerate_kvccs(
     Raises
     ------
     ValueError
-        If ``k < 1``.
+        If ``k < 1`` or ``options.backend`` is unknown.
     """
     if k < 1:
         raise ValueError(f"k must be at least 1, got {k}")
@@ -85,16 +100,46 @@ def enumerate_kvccs(
             stats.kvccs_found += len(result)
         return result
 
+    if options.backend == "csr":
+        work = graph.to_csr().full_view()
+        subgraph_of = SubgraphView.restrict
+        finalize = SubgraphView.materialize
+    elif options.backend == "dict":
+        work = graph.copy()
+        subgraph_of = Graph.induced_subgraph
+        finalize = None
+    else:
+        raise ValueError(
+            f"unknown backend {options.backend!r}; expected 'csr' or 'dict'"
+        )
+    return _enumerate_worklist(work, k, options, stats, subgraph_of, finalize)
+
+
+def _enumerate_worklist(
+    work: Union[Graph, SubgraphView],
+    k: int,
+    options: KVCCOptions,
+    stats: RunStats,
+    subgraph_of,
+    finalize,
+) -> List[Graph]:
+    """The shared Algorithm-1 worklist, parameterized by backend.
+
+    ``subgraph_of(parent, members)`` produces a worklist child (a mask
+    restriction on CSR, an induced-subgraph copy on dict); ``finalize``
+    converts a proven k-VCC to its returned :class:`Graph` (CSR
+    materializes, dict subgraphs already are the answer).  ``work`` is
+    owned by this function and peeled in place.
+    """
     with Timer(stats):
         result: List[Graph] = []
-        work = graph.copy()
         stats.kcore_removed_vertices += len(peel_in_place(work, k))
 
         stack: List[_WorkItem] = []
         resident = 0
         for comp in connected_components(work):
             if len(comp) > k:
-                sub = work.induced_subgraph(comp)
+                sub = subgraph_of(work, comp)
                 stack.append((sub, None, None))
                 resident += sub.num_vertices
         stats.peak_resident_vertices = max(
@@ -119,7 +164,7 @@ def enumerate_kvccs(
                 sub, k, options, stats, precomputed_strong=strong
             )
             if cut is None:
-                result.append(sub)
+                result.append(finalize(sub) if finalize is not None else sub)
                 stats.kvccs_found += 1
                 continue
 
@@ -129,7 +174,7 @@ def enumerate_kvccs(
                 for comp in connected_components(part):
                     if len(comp) <= k:
                         continue
-                    child = part.induced_subgraph(comp)
+                    child = subgraph_of(part, comp)
                     if maintain and strong is not None:
                         inh, re = split_inheritance(sub, child, strong)
                         stack.append((child, inh, re))

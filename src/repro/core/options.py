@@ -50,6 +50,13 @@ class KVCCOptions:
         biconnected components instead of the flow machinery.  Off by
         default to keep the paper's algorithm the reference path; the
         two are proven equivalent by the test suite.
+    backend:
+        Graph representation the enumeration runs on.  ``"csr"`` (the
+        default) interns vertices once into an immutable CSR adjacency
+        and recurses on zero-copy subgraph views; ``"dict"`` is the
+        original adjacency-set path that copies an induced subgraph per
+        recursion step.  Both return identical k-VCC families (enforced
+        by the backend-parity property tests).
     """
 
     use_certificate: bool = True
@@ -60,6 +67,7 @@ class KVCCOptions:
     maintain_side_vertices: bool = True
     seed: int = 0
     tarjan_k2: bool = False
+    backend: str = "csr"
 
     @property
     def side_vertices_enabled(self) -> bool:
@@ -77,4 +85,6 @@ class KVCCOptions:
             parts.append("basic")
         if not self.use_certificate:
             parts.append("nocert")
+        if self.backend != "csr":
+            parts.append(self.backend)
         return "+".join(parts)

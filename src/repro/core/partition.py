@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterable, List, Set
 
 from repro.graph.connectivity import components_after_removal
+from repro.graph.csr import SubgraphView
 from repro.graph.graph import Graph, Vertex
 
 
@@ -32,9 +33,12 @@ def overlap_partition(
 
     Returns
     -------
-    list of Graph
-        One induced subgraph per connected component of ``G - cut``,
-        each including all of ``cut``.
+    list of Graph or SubgraphView
+        One part per connected component of ``G - cut``, each including
+        all of ``cut``.  A dict :class:`Graph` input yields independent
+        induced subgraphs; a CSR :class:`SubgraphView` input yields new
+        views sharing the same base (mask restriction, no adjacency
+        copy) - the zero-copy path KVCC-ENUM recurses on.
 
     Raises
     ------
@@ -43,13 +47,15 @@ def overlap_partition(
         not actually a vertex cut) - a loud failure here protects
         ``KVCC-ENUM`` from infinite recursion on a bad cut.
     """
-    cut_set: Set[Vertex] = set(cut)
+    cut_set: Set[Vertex] = {v for v in cut if v in graph}
     components = components_after_removal(graph, cut_set)
     if len(components) < 2:
         raise ValueError(
             f"not a vertex cut: removing {len(cut_set)} vertices left "
             f"{len(components)} component(s)"
         )
+    if isinstance(graph, SubgraphView):
+        return [graph.restrict(comp | cut_set) for comp in components]
     return [graph.induced_subgraph(comp | cut_set) for comp in components]
 
 

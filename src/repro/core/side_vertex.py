@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set
 
+from repro.graph.csr import SubgraphView
 from repro.graph.graph import Graph, Vertex
 
 
@@ -35,13 +36,25 @@ def k_common_partners(graph: Graph, v: Vertex, k: int) -> Set[Vertex]:
 
     Straight from Lemma 13's premise: counting walks ``v - x - w`` gives
     ``|N(v) ∩ N(w)|`` for every 2-hop neighbor ``w`` in
-    ``O(sum_{x in N(v)} d(x))`` time.
+    ``O(sum_{x in N(v)} d(x))`` time.  The CSR branch walks the base's
+    index arrays directly instead of materializing filtered neighbor
+    lists for every 1-hop vertex.
     """
     counts: Dict[Vertex, int] = {}
-    for x in graph.neighbors(v):
-        for w in graph.neighbors(x):
-            if w != v:
-                counts[w] = counts.get(w, 0) + 1
+    if isinstance(graph, SubgraphView):
+        rows, mask = graph.base.rows, graph.mask
+        get = counts.get
+        for x in rows[v]:
+            if not mask[x]:
+                continue
+            for w in rows[x]:
+                if w != v and mask[w]:
+                    counts[w] = get(w, 0) + 1
+    else:
+        for x in graph.neighbors(v):
+            for w in graph.neighbors(x):
+                if w != v:
+                    counts[w] = counts.get(w, 0) + 1
     return {w for w, c in counts.items() if c >= k}
 
 
@@ -51,6 +64,8 @@ def is_strong_side_vertex(graph: Graph, u: Vertex, k: int) -> bool:
     Every pair of neighbors must be adjacent or share >= k common
     neighbors.  Short-circuits on the first failing pair.
     """
+    if isinstance(graph, SubgraphView):
+        return _is_strong_side_vertex_view(graph, u, k)
     nbrs = list(graph.neighbors(u))
     if len(nbrs) < 2:
         return True  # no pairs to violate the condition
@@ -71,6 +86,34 @@ def is_strong_side_vertex(graph: Graph, u: Vertex, k: int) -> bool:
     return True
 
 
+def _is_strong_side_vertex_view(view: SubgraphView, u: int, k: int) -> bool:
+    """Theorem 8 over a CSR view.
+
+    The dict backend checks pair adjacency against live neighbor sets;
+    a view has no sets to borrow, so this path builds each anchor's
+    active neighbor set once (O(d)) and its k-common-partner set lazily
+    on the first non-adjacent pair.  (The subgraph-wide scan in
+    :func:`_strong_side_vertices_view` additionally shares those sets
+    across anchors; here a single vertex is being certified.)
+    """
+    rows, mask = view.base.rows, view.mask
+    active = mask.__getitem__
+    nbrs = list(filter(active, rows[u]))
+    if len(nbrs) < 2:
+        return True  # no pairs to violate the condition
+    for i, v in enumerate(nbrs):
+        v_nbrs = set(filter(active, rows[v]))
+        v_partners: Optional[Set[int]] = None
+        for w in nbrs[i + 1 :]:
+            if w in v_nbrs:
+                continue
+            if v_partners is None:
+                v_partners = k_common_partners(view, v, k)
+            if w not in v_partners:
+                return False
+    return True
+
+
 def strong_side_vertices(
     graph: Graph,
     k: int,
@@ -81,10 +124,70 @@ def strong_side_vertices(
     ``candidates=None`` scans every vertex; the KVCC-ENUM recursion passes
     the inherited candidate set computed by :func:`split_inheritance`.
     """
+    if isinstance(graph, SubgraphView):
+        return _strong_side_vertices_view(graph, k, candidates)
     pool = graph.vertices() if candidates is None else (
         v for v in candidates if v in graph
     )
     return {u for u in pool if is_strong_side_vertex(graph, u, k)}
+
+
+def _strong_side_vertices_view(
+    view: SubgraphView,
+    k: int,
+    candidates: Optional[Iterable[int]] = None,
+) -> Set[int]:
+    """Theorem-8 scan over a CSR view with subgraph-wide caches.
+
+    A vertex's active neighbor set and its k-common-partner set depend
+    only on the subgraph, not on which vertex ``u`` is being certified,
+    so one scan shares both caches across all checks instead of
+    rebuilding them per vertex (the Lemma 14 cost is per *scan* here,
+    not per scan times average degree).
+    """
+    rows, mask = view.base.rows, view.mask
+    active = mask.__getitem__
+    n = len(mask)
+    if candidates is None:
+        pool: Iterable[int] = view.vertices()
+    else:
+        pool = (v for v in candidates if 0 <= v < n and mask[v])
+
+    nbr_sets: Dict[int, Set[int]] = {}
+    partner_sets: Dict[int, Set[int]] = {}
+    strong: Set[int] = set()
+    for u in pool:
+        nbrs = list(filter(active, rows[u]))
+        if len(nbrs) < 2:
+            strong.add(u)  # no pairs to violate the condition
+            continue
+        ok = True
+        # Pair testing via set algebra: ``remaining`` holds the
+        # not-yet-anchored neighbors, so each unordered pair is examined
+        # exactly once, and the adjacent / k-common-partner screens are
+        # C-level set differences instead of a Python pair loop.
+        remaining = set(nbrs)
+        for v in nbrs:
+            remaining.discard(v)
+            if not remaining:
+                break
+            v_nbrs = nbr_sets.get(v)
+            if v_nbrs is None:
+                v_nbrs = set(filter(active, rows[v]))
+                nbr_sets[v] = v_nbrs
+            extra = remaining - v_nbrs
+            if not extra:
+                continue
+            v_partners = partner_sets.get(v)
+            if v_partners is None:
+                v_partners = k_common_partners(view, v, k)
+                partner_sets[v] = v_partners
+            if extra - v_partners:
+                ok = False
+                break
+        if ok:
+            strong.add(u)
+    return strong
 
 
 def split_inheritance(
@@ -105,6 +208,8 @@ def split_inheritance(
     Vertices that were not strong in the parent are in neither set
     (Lemma 15's candidate restriction).
     """
+    if isinstance(parent, SubgraphView) and isinstance(child, SubgraphView):
+        return _split_inheritance_view(parent, child, parent_strong)
     inherited: Set[Vertex] = set()
     recheck: Set[Vertex] = set()
     for v in parent_strong:
@@ -119,4 +224,32 @@ def split_inheritance(
             inherited.add(v)
         else:
             recheck.add(v)
+    return inherited, recheck
+
+
+def _split_inheritance_view(
+    parent: SubgraphView,
+    child: SubgraphView,
+    parent_strong: Set[int],
+) -> tuple:
+    """Array-based :func:`split_inheritance` for two views on one base."""
+    inherited: Set[int] = set()
+    recheck: Set[int] = set()
+    rows = parent.base.rows
+    p_deg, c_deg = parent.deg, child.deg
+    c_mask = child.mask
+    for v in parent_strong:
+        if not c_mask[v]:
+            continue
+        if c_deg[v] != p_deg[v]:
+            recheck.add(v)
+            continue
+        # child active-set is a subset of the parent's: equal degree
+        # means the same neighbors, so only neighbor degrees remain.
+        for w in rows[v]:
+            if c_mask[w] and c_deg[w] != p_deg[w]:
+                recheck.add(v)
+                break
+        else:
+            inherited.add(v)
     return inherited, recheck

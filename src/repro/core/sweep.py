@@ -37,9 +37,12 @@ class SweepState:
     ----------
     adjacency:
         The graph whose neighborhoods drive deposits - the sparse
-        certificate in the optimized algorithm.  Certificate edges are a
-        subset of the graph's, so every deposit is still sound (Lemma 17
-        only needs *some* k swept neighbors).
+        certificate in the optimized algorithm.  Any backend with a
+        ``neighbors(v)`` iterable works: the dict :class:`Graph`, a CSR
+        :class:`~repro.graph.csr.SubgraphView`, or the CSR path's
+        :class:`~repro.graph.csr.IntAdjacency` certificate.  Certificate
+        edges are a subset of the graph's, so every deposit is still
+        sound (Lemma 17 only needs *some* k swept neighbors).
     k:
         Connectivity threshold.
     strong:

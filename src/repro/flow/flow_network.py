@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.graph.csr import IntAdjacency, SubgraphView
 from repro.graph.graph import Graph, Vertex
 
 
@@ -43,7 +44,10 @@ class FlowNetwork:
     num_nodes:
         ``2n``: in/out node per original vertex.
     to_index / to_vertex:
-        Bijection between original vertices and dense indices.
+        Bijection between original vertices and dense indices.  For
+        graphs built from the CSR backend ``to_index`` is a dense list
+        keyed by base vertex id instead of a dict (both support the
+        ``to_index[v]`` lookups the node helpers perform).
     """
 
     __slots__ = (
@@ -137,6 +141,10 @@ def build_flow_network(graph: Graph, k: int) -> FlowNetwork:
     """
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
+    if isinstance(graph, SubgraphView):
+        return _build_from_view(graph, k)
+    if isinstance(graph, IntAdjacency):
+        return _build_from_int_adjacency(graph, k)
     n = graph.num_vertices
     net = FlowNetwork(2 * n)
     net.to_vertex = list(graph.vertices())
@@ -147,4 +155,75 @@ def build_flow_network(graph: Graph, k: int) -> FlowNetwork:
     for u, v in graph.edges():
         net.add_arc(net.node_out(u), net.node_in(v), k)
         net.add_arc(net.node_out(v), net.node_in(u), k)
+    return net
+
+
+def _dense_skeleton(verts: List[int], n_base: int) -> FlowNetwork:
+    """A network over ``verts`` with internal arcs and a list ``to_index``.
+
+    Skipping the vertex->index dict is the CSR payoff: compact node ids
+    come from indexing a dense list by base id, with no hashing.
+    """
+    n = len(verts)
+    net = FlowNetwork(2 * n)
+    net.to_vertex = verts
+    lookup = [-1] * n_base
+    for i, v in enumerate(verts):
+        lookup[v] = i
+    net.to_index = lookup
+    for i in range(n):
+        net.add_arc(2 * i, 2 * i + 1, 1)
+    return net
+
+
+def _add_adjacency_arcs(
+    net: FlowNetwork, rows, verts: List[int], k: int, masked: bool
+) -> None:
+    """Append both adjacency arc pairs per undirected edge, inlined.
+
+    ``add_arc`` costs a method call plus four attribute loads per arc;
+    on dense graphs the arc loop dominates network construction, so the
+    appends are unrolled against local bindings here.  Arc layout is
+    identical to the ``add_arc`` path (forward arcs at even ids).
+    """
+    lookup = net.to_index
+    head = net.head
+    cap = net.cap
+    initial_cap = net.initial_cap
+    adj = net.adj
+    caps4 = (k, 0, k, 0)
+    for v in verts:
+        row = rows[v]
+        out_v = 2 * lookup[v] + 1
+        for w in row:
+            if w > v and (not masked or lookup[w] >= 0):
+                in_w = 2 * lookup[w]
+                arc = len(head)
+                # Arc quad per undirected edge: v_out -> w_in and
+                # w_out -> v_in, each followed by its zero-cap reverse.
+                head.extend((in_w, out_v, out_v - 1, in_w + 1))
+                cap.extend(caps4)
+                initial_cap.extend(caps4)
+                adj[out_v].append(arc)
+                adj[in_w].append(arc + 1)
+                adj[in_w + 1].append(arc + 2)
+                adj[out_v - 1].append(arc + 3)
+    return
+
+
+def _build_from_view(view: SubgraphView, k: int) -> FlowNetwork:
+    """Build the flow graph of a CSR view straight from the base rows."""
+    base = view.base
+    verts = list(view.active_list())
+    net = _dense_skeleton(verts, base.n)
+    # Inactive vertices keep lookup -1, which the arc loop skips.
+    _add_adjacency_arcs(net, base.rows, verts, k, masked=True)
+    return net
+
+
+def _build_from_int_adjacency(graph: IntAdjacency, k: int) -> FlowNetwork:
+    """Build from an integer adjacency-list graph (the CSR-path certificate)."""
+    verts = list(graph.verts)
+    net = _dense_skeleton(verts, len(graph.adj))
+    _add_adjacency_arcs(net, graph.adj, verts, k, masked=False)
     return net

@@ -9,6 +9,7 @@ graph generators used as dataset stand-ins.
 """
 
 from repro.graph.graph import Graph
+from repro.graph.csr import CSRGraph, IntAdjacency, SubgraphView, VertexInterner
 from repro.graph.connectivity import (
     bfs_distances,
     bfs_order,
@@ -42,12 +43,17 @@ from repro.graph.generators import (
 )
 from repro.graph.io import (
     read_edge_list,
+    read_edge_list_csr,
     read_snap_file,
     write_edge_list,
 )
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "IntAdjacency",
+    "SubgraphView",
+    "VertexInterner",
     "bfs_distances",
     "bfs_order",
     "connected_components",
@@ -75,6 +81,7 @@ __all__ = [
     "ring_of_cliques",
     "web_graph",
     "read_edge_list",
+    "read_edge_list_csr",
     "read_snap_file",
     "write_edge_list",
 ]

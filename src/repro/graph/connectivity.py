@@ -12,6 +12,11 @@ These are the plumbing for almost everything else:
 
 All traversals are iterative (no recursion) so graph size is bounded by
 memory, not the CPython recursion limit.
+
+Every function accepts either the dict-backend :class:`Graph` or a CSR
+:class:`~repro.graph.csr.SubgraphView`; the view paths run tight loops
+straight over the base's ``indptr`` / ``indices`` arrays and the byte
+mask, avoiding per-vertex set allocations entirely.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Set
 
+from repro.graph.csr import SubgraphView
 from repro.graph.graph import Graph, Vertex
 
 
@@ -42,6 +48,8 @@ def bfs_distances(graph: Graph, source: Vertex) -> Dict[Vertex, int]:
 
     Only reachable vertices appear in the returned mapping.
     """
+    if isinstance(graph, SubgraphView):
+        return _bfs_distances_view(graph, source)
     dist: Dict[Vertex, int] = {source: 0}
     queue = deque([source])
     while queue:
@@ -60,6 +68,8 @@ def connected_components(graph: Graph) -> List[Set[Vertex]]:
     Deterministic: components are discovered in the graph's vertex
     iteration order, and BFS explores in adjacency order.
     """
+    if isinstance(graph, SubgraphView):
+        return _components_view(graph, None)
     components: List[Set[Vertex]] = []
     seen: Set[Vertex] = set()
     for start in graph.vertices():
@@ -97,6 +107,8 @@ def components_after_removal(
     absent, avoiding an induced-subgraph copy of what may be almost the
     whole graph.
     """
+    if isinstance(graph, SubgraphView):
+        return _components_view(graph, set(removed))
     removed_set: Set[Vertex] = set(removed)
     components: List[Set[Vertex]] = []
     seen: Set[Vertex] = set()
@@ -148,3 +160,53 @@ def shortest_path_length(
                 dist[v] = du + 1
                 queue.append(v)
     return None
+
+
+# ----------------------------------------------------------------------
+# CSR view fast paths: flat loops over indptr/indices with a byte mask.
+# ----------------------------------------------------------------------
+def _components_view(
+    view: SubgraphView, removed: Optional[Set[int]]
+) -> List[Set[int]]:
+    """Components of the view (minus ``removed``), list-queue BFS."""
+    base = view.base
+    rows, mask = base.rows, view.mask
+    seen = bytearray(base.n)
+    if removed:
+        for v in removed:
+            if 0 <= v < base.n:
+                seen[v] = 1
+    components: List[Set[int]] = []
+    for start in view.active_list():
+        if seen[start]:
+            continue
+        seen[start] = 1
+        comp = [start]
+        head = 0
+        while head < len(comp):
+            u = comp[head]
+            head += 1
+            for w in rows[u]:
+                if mask[w] and not seen[w]:
+                    seen[w] = 1
+                    comp.append(w)
+        components.append(set(comp))
+    return components
+
+
+def _bfs_distances_view(view: SubgraphView, source: int) -> Dict[int, int]:
+    """Hop distances over a view; returns the same dict shape as the
+    generic path so farthest-first ordering works on either backend."""
+    rows, mask = view.base.rows, view.mask
+    dist: Dict[int, int] = {source: 0}
+    queue = [source]
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        du = dist[u]
+        for w in rows[u]:
+            if mask[w] and w not in dist:
+                dist[w] = du + 1
+                queue.append(w)
+    return dist

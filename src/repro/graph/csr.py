@@ -1,0 +1,521 @@
+"""CSR adjacency backend: dense-integer graphs and zero-copy subgraph views.
+
+The KVCC-ENUM pipeline (k-core peel -> sparse certificate -> flow-based
+LOC-CUT -> overlap partition -> recurse) is dominated by neighbor
+iteration and subgraph construction.  The dict-of-sets
+:class:`~repro.graph.graph.Graph` pays hashing and per-subgraph
+allocation costs on every one of those operations; this module provides
+the compact alternative every interior layer runs on:
+
+* :class:`VertexInterner` maps arbitrary hashable vertex labels to dense
+  integer ids at the system boundary (IO, CLI, datasets), so everything
+  inside the enumeration speaks integers;
+* :class:`CSRGraph` is an immutable compressed-sparse-row adjacency
+  (``indptr`` / ``indices`` over :class:`array.array`), with neighbor
+  lists sorted so edge queries are a binary search;
+* :class:`SubgraphView` is a vertex *mask* plus a degree array over a
+  shared :class:`CSRGraph` base.  Taking an induced subgraph is a mask
+  restriction (no adjacency is copied), k-core peeling mutates the mask
+  and degrees in place, and :meth:`SubgraphView.materialize` converts the
+  final survivors - and only those - back into labeled ``Graph`` objects;
+* :class:`IntAdjacency` is a small mutable adjacency-list graph over the
+  base's id space, used for derived sparse structures (the sparse
+  certificate) that the CSR base cannot represent immutably.
+
+``Graph`` remains the mutable construction/API type;
+``Graph.to_csr()`` / ``Graph.from_csr()`` convert at the boundary.
+
+All three graph-shaped classes implement the informal protocol the
+algorithm layers rely on: ``vertices()``, ``neighbors(v)``, ``degree(v)``,
+``has_edge(u, v)``, ``num_vertices``, ``num_edges`` and containment.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.graph import Graph, Vertex
+
+
+class VertexInterner:
+    """Bijection between arbitrary hashable vertex labels and dense ids.
+
+    Ids are assigned in first-seen order starting at 0, so interning the
+    vertices of a :class:`Graph` preserves its (deterministic, insertion
+    ordered) vertex iteration order.
+
+    Examples
+    --------
+    >>> interner = VertexInterner(["a", "b"])
+    >>> interner.intern("c")
+    2
+    >>> interner["a"], interner.label(2)
+    (0, 'c')
+    """
+
+    __slots__ = ("_ids", "_labels")
+
+    def __init__(self, labels: Iterable[Hashable] = ()) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._labels: List[Hashable] = []
+        for label in labels:
+            self.intern(label)
+
+    def intern(self, label: Hashable) -> int:
+        """The id of ``label``, assigning the next free id if unseen."""
+        vid = self._ids.get(label)
+        if vid is None:
+            vid = len(self._labels)
+            self._ids[label] = vid
+            self._labels.append(label)
+        return vid
+
+    def __getitem__(self, label: Hashable) -> int:
+        """The id of an already-interned label (``KeyError`` if absent)."""
+        return self._ids[label]
+
+    def label(self, vid: int) -> Hashable:
+        """The label interned as ``vid``."""
+        return self._labels[vid]
+
+    @property
+    def labels(self) -> List[Hashable]:
+        """All labels in id order (the live list; treat as read-only)."""
+        return self._labels
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._ids
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VertexInterner(n={len(self._labels)})"
+
+
+class CSRGraph:
+    """Immutable undirected graph in compressed-sparse-row form.
+
+    ``indices[indptr[v]:indptr[v + 1]]`` lists the neighbors of vertex
+    ``v`` in ascending id order (each undirected edge appears in both
+    endpoint rows).  The structure is never mutated after construction;
+    all dynamic state (peeling, partitioning) lives in
+    :class:`SubgraphView` masks layered on top.
+
+    Examples
+    --------
+    >>> csr, interner = CSRGraph.from_edges([("a", "b"), ("b", "c")])
+    >>> csr.num_vertices, csr.num_edges
+    (3, 2)
+    >>> csr.neighbors(interner["b"])
+    [0, 2]
+    """
+
+    __slots__ = ("n", "indptr", "indices", "rows", "interner")
+
+    def __init__(
+        self,
+        n: int,
+        indptr: array,
+        indices: array,
+        interner: Optional[VertexInterner] = None,
+    ) -> None:
+        self.n = n
+        self.indptr = indptr
+        self.indices = indices
+        #: Per-vertex neighbor lists materialized once from the arrays.
+        #: Iterating a list is a C-level walk over already-boxed ints,
+        #: which the hot loops (BFS, peel, Theorem-8 scans) prefer over
+        #: repeatedly indexing the ``array`` (one int box per access).
+        self.rows: List[List[int]] = [
+            list(indices[indptr[i] : indptr[i + 1]]) for i in range(n)
+        ]
+        #: Optional labels for the ids; ``None`` means ids are the labels.
+        self.interner = interner
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Convert a dict-backend :class:`Graph`, interning its labels."""
+        interner = VertexInterner(graph.vertices())
+        n = graph.num_vertices
+        indptr = array("l", [0]) * (n + 1)
+        for i, v in enumerate(interner.labels):
+            indptr[i + 1] = indptr[i] + graph.degree(v)
+        indices = array("l", [0]) * indptr[n] if n else array("l")
+        ids = interner._ids
+        for i, v in enumerate(interner.labels):
+            row = sorted(ids[w] for w in graph.neighbors(v))
+            indices[indptr[i] : indptr[i + 1]] = array("l", row)
+        return cls(n, indptr, indices, interner)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Hashable, Hashable]],
+        vertices: Iterable[Hashable] = (),
+    ) -> Tuple["CSRGraph", VertexInterner]:
+        """Build directly from an edge iterable, skipping the dict Graph.
+
+        This is the boundary constructor for IO/datasets: labels are
+        interned on first sight, self loops are rejected and duplicate
+        edges merged, mirroring :class:`Graph` semantics.
+        """
+        interner = VertexInterner(vertices)
+        adj: List[Set[int]] = [set() for _ in range(len(interner))]
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self loop rejected: {u!r}")
+            iu = interner.intern(u)
+            while len(adj) <= iu:
+                adj.append(set())
+            iv = interner.intern(v)
+            while len(adj) <= iv:
+                adj.append(set())
+            adj[iu].add(iv)
+            adj[iv].add(iu)
+        n = len(adj)
+        indptr = array("l", [0]) * (n + 1)
+        for i in range(n):
+            indptr[i + 1] = indptr[i] + len(adj[i])
+        indices = array("l", [0]) * indptr[n] if n else array("l")
+        for i in range(n):
+            indices[indptr[i] : indptr[i + 1]] = array("l", sorted(adj[i]))
+        return cls(n, indptr, indices, interner), interner
+
+    def to_graph(self) -> Graph:
+        """Materialize the whole structure as a labeled dict ``Graph``."""
+        return self.full_view().materialize()
+
+    # ------------------------------------------------------------------
+    # Queries (over the full vertex set)
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.n
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices) // 2
+
+    def vertices(self) -> Iterator[int]:
+        """All ids, ``0..n-1`` in order."""
+        return iter(range(self.n))
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v`` in the full graph (an indptr difference)."""
+        return self.indptr[v + 1] - self.indptr[v]
+
+    def neighbors(self, v: int) -> List[int]:
+        """Neighbor ids of ``v`` as a fresh ascending list."""
+        return list(self.rows[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge query by binary search in ``u``'s sorted row."""
+        row = self.rows[u]
+        pos = bisect_left(row, v)
+        return pos < len(row) and row[pos] == v
+
+    def label_of(self, vid: int) -> Hashable:
+        """Original label of ``vid`` (the id itself when unlabeled)."""
+        return self.interner.label(vid) if self.interner is not None else vid
+
+    def full_view(self) -> "SubgraphView":
+        """A view with every vertex active (the enumeration's root)."""
+        mask = bytearray(b"\x01") * self.n
+        indptr = self.indptr
+        deg = [indptr[i + 1] - indptr[i] for i in range(self.n)]
+        return SubgraphView(self, mask, deg, self.n, list(range(self.n)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n={self.n}, m={self.num_edges})"
+
+
+class SubgraphView:
+    """A zero-copy induced subgraph of a :class:`CSRGraph`.
+
+    State is a byte ``mask`` (1 = active) plus the active-degree array,
+    both indexed by base vertex id.  The adjacency itself is never
+    copied: neighbor queries filter the base's CSR row through the mask.
+
+    Views support the two mutations KVCC-ENUM performs:
+
+    * :meth:`peel` - in-place k-core peeling (clears mask bits and
+      decrements degrees);
+    * :meth:`restrict` - a *new* view on an active subset (what
+      OVERLAP-PARTITION pushes onto the worklist instead of copying an
+      induced subgraph).
+
+    Only final k-VCCs are ever :meth:`materialize`-d back into labeled
+    :class:`Graph` objects.
+    """
+
+    __slots__ = ("base", "mask", "deg", "_n_active", "_verts")
+
+    def __init__(
+        self,
+        base: CSRGraph,
+        mask: bytearray,
+        deg: List[int],
+        n_active: int,
+        verts: Optional[List[int]] = None,
+    ) -> None:
+        self.base = base
+        self.mask = mask
+        #: Active degree per base id (stale for inactive ids).
+        self.deg = deg
+        self._n_active = n_active
+        #: Cached ascending list of active ids (``None`` until needed).
+        #: Keeps per-view operations O(active) instead of O(base.n) -
+        #: the recursion pushes many small views over one large base.
+        self._verts = verts
+
+    # ------------------------------------------------------------------
+    # Protocol queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n_active
+
+    @property
+    def num_edges(self) -> int:
+        """Edges among active vertices (O(active) recount per call)."""
+        deg = self.deg
+        return sum(deg[v] for v in self.active_list()) // 2
+
+    def __len__(self) -> int:
+        return self._n_active
+
+    def __contains__(self, v: object) -> bool:
+        return (
+            isinstance(v, int) and 0 <= v < self.base.n and bool(self.mask[v])
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        return self.vertices()
+
+    def vertices(self) -> Iterator[int]:
+        """Active vertex ids in ascending order."""
+        return iter(self.active_list())
+
+    def active_list(self) -> List[int]:
+        """The active ids as an ascending list (cached; do not mutate)."""
+        verts = self._verts
+        if verts is None:
+            verts = [v for v, m in enumerate(self.mask) if m]
+            self._verts = verts
+        return verts
+
+    def vertex_set(self) -> Set[int]:
+        """A new set of the active vertex ids."""
+        return set(self.active_list())
+
+    def degree(self, v: int) -> int:
+        """Active degree of ``v`` (O(1) array read)."""
+        return self.deg[v]
+
+    def neighbors(self, v: int) -> List[int]:
+        """Active neighbors of ``v`` (fresh ascending list).
+
+        ``filter`` with the mask's C-level ``__getitem__`` keeps the hot
+        loop out of Python bytecode.
+        """
+        return list(filter(self.mask.__getitem__, self.base.rows[v]))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if both endpoints are active and the base has the edge
+        (binary search in the sorted CSR row)."""
+        mask = self.mask
+        return bool(mask[u]) and bool(mask[v]) and self.base.has_edge(u, v)
+
+    def min_degree_vertex(self) -> int:
+        """An active vertex of minimum degree (ties: smallest id, which
+        matches the dict backend's insertion-order tie-break)."""
+        deg = self.deg
+        best = -1
+        best_deg = -1
+        for v in self.active_list():
+            if best < 0 or deg[v] < best_deg:
+                best = v
+                best_deg = deg[v]
+        if best < 0:
+            raise ValueError("view has no active vertices")
+        return best
+
+    def min_degree(self) -> int:
+        """Minimum active degree ``delta`` of the view."""
+        deg = self.deg
+        degs = [deg[v] for v in self.active_list()]
+        if not degs:
+            raise ValueError("view has no active vertices")
+        return min(degs)
+
+    def max_degree(self) -> int:
+        """Maximum active degree ``Delta`` of the view."""
+        deg = self.deg
+        degs = [deg[v] for v in self.active_list()]
+        if not degs:
+            raise ValueError("view has no active vertices")
+        return max(degs)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Each active undirected edge once, as ``(u, v)`` with ``u < v``."""
+        rows, mask = self.base.rows, self.mask
+        for u in self.active_list():
+            for w in rows[u]:
+                if w > u and mask[w]:
+                    yield (u, w)
+
+    # ------------------------------------------------------------------
+    # Mutation / derivation
+    # ------------------------------------------------------------------
+    def peel(self, k: int) -> Set[int]:
+        """Remove active vertices of degree < ``k`` in place (k-core).
+
+        Returns the set of removed ids.  Runs in O(active + touched
+        edges): each removed vertex is dequeued once and each incident
+        edge decrements its surviving endpoint once.
+        """
+        mask = self.mask
+        deg = self.deg
+        rows = self.base.rows
+        queue: List[int] = [v for v in self.active_list() if deg[v] < k]
+        for v in queue:
+            mask[v] = 0
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            for w in rows[u]:
+                if mask[w]:
+                    d = deg[w] - 1
+                    deg[w] = d
+                    if d < k:
+                        mask[w] = 0
+                        queue.append(w)
+        self._n_active -= len(queue)
+        if queue and self._verts is not None:
+            self._verts = [v for v in self._verts if mask[v]]
+        return set(queue)
+
+    def restrict(self, members: Iterable[int]) -> "SubgraphView":
+        """A new view induced on ``members`` (must be active in ``self``).
+
+        The base adjacency is shared; only a fresh mask and degree array
+        are allocated, so this is the zero-copy replacement for
+        ``Graph.induced_subgraph`` on the KVCC-ENUM recursion path.
+        """
+        base = self.base
+        members = sorted(members)
+        mask = bytearray(base.n)
+        for v in members:
+            mask[v] = 1
+        deg = [0] * base.n
+        rows = base.rows
+        active = mask.__getitem__
+        for v in members:
+            deg[v] = sum(map(active, rows[v]))
+        return SubgraphView(base, mask, deg, len(members), members)
+
+    def copy(self) -> "SubgraphView":
+        """An independent view with the same active set."""
+        verts = self._verts
+        return SubgraphView(
+            self.base,
+            bytearray(self.mask),
+            list(self.deg),
+            self._n_active,
+            list(verts) if verts is not None else None,
+        )
+
+    def materialize(self) -> Graph:
+        """An independent labeled :class:`Graph` of the active subgraph.
+
+        This is the only point where the CSR pipeline allocates
+        dict-backend adjacency; KVCC-ENUM calls it once per *returned*
+        k-VCC, never per worklist item.
+        """
+        base = self.base
+        rows, mask = base.rows, self.mask
+        interner = base.interner
+        labels = interner.labels if interner is not None else None
+        adj: Dict[Vertex, Set[Vertex]] = {}
+        num_edges = 0
+        for v in self.active_list():
+            row = filter(mask.__getitem__, rows[v])
+            if labels is None:
+                nbrs = set(row)
+                adj[v] = nbrs
+            else:
+                nbrs = {labels[w] for w in row}
+                adj[labels[v]] = nbrs
+            num_edges += len(nbrs)
+        graph = Graph()
+        graph._adj = adj
+        graph._num_edges = num_edges // 2
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SubgraphView(active={self._n_active}, base_n={self.base.n})"
+        )
+
+
+class IntAdjacency:
+    """Mutable adjacency-list graph over a CSR base's integer id space.
+
+    Backs derived sparse structures - the sparse certificate in the CSR
+    pipeline - whose edge sets differ from the base's.  Rows are plain
+    ``list``s indexed by base id; only the listed ``verts`` are part of
+    the graph (other rows stay empty).
+    """
+
+    __slots__ = ("adj", "verts", "_m")
+
+    def __init__(self, n: int, verts: List[int]) -> None:
+        self.adj: List[List[int]] = [[] for _ in range(n)]
+        self.verts = verts
+        self._m = 0
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.verts)
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Append the undirected edge (no duplicate check; callers add
+        forest edges, which are unique by construction)."""
+        self.adj[u].append(v)
+        self.adj[v].append(u)
+        self._m += 1
+
+    def vertices(self) -> Iterator[int]:
+        """The member ids, in construction order."""
+        return iter(self.verts)
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v`` (row length)."""
+        return len(self.adj[v])
+
+    def neighbors(self, v: int) -> List[int]:
+        """The live row list; callers must not mutate it."""
+        return self.adj[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge query by linear row scan (rows are forest-sparse)."""
+        return v in self.adj[u]
+
+    def __contains__(self, v: object) -> bool:
+        return isinstance(v, int) and 0 <= v < len(self.adj) and (
+            bool(self.adj[v]) or v in self.verts
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IntAdjacency(n={len(self.verts)}, m={self._m})"

@@ -253,6 +253,28 @@ class Graph:
         """Build a graph from an iterable of vertex pairs."""
         return cls(edges=pairs)
 
+    def to_csr(self):
+        """Convert to the immutable CSR backend (interning vertex labels).
+
+        Returns a :class:`~repro.graph.csr.CSRGraph` whose dense ids
+        follow this graph's vertex iteration order; the attached
+        interner maps ids back to the original labels.
+        """
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_graph(self)
+
+    @classmethod
+    def from_csr(cls, csr) -> "Graph":
+        """Rebuild a mutable dict-backend graph from a CSR graph or view."""
+        from repro.graph.csr import CSRGraph, SubgraphView
+
+        if isinstance(csr, SubgraphView):
+            return csr.materialize()
+        if isinstance(csr, CSRGraph):
+            return csr.to_graph()
+        raise TypeError(f"expected CSRGraph or SubgraphView, got {type(csr)!r}")
+
     def to_edge_list(self) -> List[Edge]:
         """All edges as a list (arbitrary but deterministic order)."""
         return list(self.edges())

@@ -61,6 +61,32 @@ def read_snap_file(path: PathLike) -> Graph:
     return read_edge_list(path, comment="#", directed=True)
 
 
+def read_edge_list_csr(path: PathLike, comment: str = "#"):
+    """Read an edge list straight into the CSR backend.
+
+    The boundary constructor for large inputs: labels are interned to
+    dense ids as they stream by, and no dict-of-sets graph is built.
+    Returns ``(csr, interner)`` - see
+    :meth:`repro.graph.csr.CSRGraph.from_edges`.
+    """
+    from repro.graph.csr import CSRGraph
+
+    def _edges():
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line or line.startswith(comment):
+                    continue
+                parts = line.split()
+                if len(parts) < 2:
+                    raise ValueError(f"malformed edge line: {line!r}")
+                u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+                if u != v:
+                    yield (u, v)
+
+    return CSRGraph.from_edges(_edges())
+
+
 def write_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
     """Write the graph as a ``u v`` edge list (one edge per line)."""
     with open(path, "w", encoding="utf-8") as handle:

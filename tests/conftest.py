@@ -1,4 +1,4 @@
-"""Shared fixtures and helpers for the test suite.
+"""Shared fixtures for the test suite.
 
 Conventions:
 
@@ -8,18 +8,18 @@ Conventions:
 * determinism - every randomized test seeds explicitly;
 * sizes - flow-based tests stay under ~20 vertices so the quadratic /
   exponential oracles stay instant.
+
+Plain helper functions (``random_connected_graph``, ``vertex_set_family``,
+...) live in :mod:`helpers` - importing them from a conftest is fragile
+because ``conftest`` is not a uniquely importable module name.
 """
 
 from __future__ import annotations
-
-import random
-from typing import List, Set
 
 import pytest
 
 from repro.graph.generators import (
     figure1_graph,
-    gnp_random_graph,
     overlapping_cliques_graph,
     ring_of_cliques,
 )
@@ -59,46 +59,3 @@ def two_cliques_shared_edge() -> Graph:
 @pytest.fixture
 def clique_ring() -> Graph:
     return ring_of_cliques(num_cliques=4, clique_size=5)
-
-
-def random_connected_graph(n: int, p: float, seed: int) -> Graph:
-    """A connected G(n, p): resample edges onto a random spanning tree."""
-    rng = random.Random(seed)
-    g = gnp_random_graph(n, p, seed=seed)
-    order = list(range(n))
-    rng.shuffle(order)
-    for a, b in zip(order, order[1:]):
-        if not g.has_edge(a, b):
-            g.add_edge(a, b)
-    return g
-
-
-def vertex_set_family(graphs) -> Set[frozenset]:
-    """Canonical comparison form for a list of Graphs or vertex sets."""
-    out = set()
-    for item in graphs:
-        if isinstance(item, Graph):
-            out.add(frozenset(item.vertices()))
-        else:
-            out.add(frozenset(item))
-    return out
-
-
-def assert_is_induced_subgraph(sub: Graph, parent: Graph) -> None:
-    """Every returned component must be an induced subgraph of its parent."""
-    for v in sub.vertices():
-        assert v in parent
-    vs = sub.vertex_set()
-    for u in vs:
-        expected = parent.neighbors(u) & vs
-        assert sub.neighbors(u) == expected, (
-            f"{u}: {sorted(sub.neighbors(u))} != {sorted(expected)}"
-        )
-
-
-def small_k_values(graph: Graph) -> List[int]:
-    """k values worth testing on a small graph: 1..min_degree+2."""
-    if graph.num_vertices == 0:
-        return [1]
-    hi = min(6, graph.max_degree() + 1)
-    return list(range(1, hi + 1))

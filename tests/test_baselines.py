@@ -21,7 +21,7 @@ from repro.graph.generators import (
 )
 from repro.graph.graph import Graph
 
-from conftest import random_connected_graph, vertex_set_family
+from helpers import random_connected_graph, vertex_set_family
 
 
 class TestKCoreComponents:

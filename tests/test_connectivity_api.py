@@ -19,7 +19,7 @@ from repro.graph.generators import (
 )
 from repro.graph.graph import Graph
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 
 
 class TestIsKConnected:

@@ -11,7 +11,7 @@ from repro.flow.min_cut import minimum_vertex_cut_from_residual
 from repro.graph.connectivity import shortest_path_length
 from repro.graph.generators import complete_graph, cycle_graph
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 
 
 class TestParity:

@@ -18,7 +18,7 @@ from repro.graph.connectivity import shortest_path_length
 from repro.graph.generators import complete_graph, cycle_graph, gnp_random_graph
 from repro.graph.graph import Graph
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 
 
 class TestConstruction:

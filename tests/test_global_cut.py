@@ -17,7 +17,7 @@ from repro.graph.generators import (
 )
 from repro.graph.graph import Graph
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 
 ALL_OPTIONS = list(VARIANTS.values()) + [
     KVCCOptions(use_certificate=False, neighbor_sweep=False,

@@ -15,7 +15,7 @@ from repro.graph.generators import (
 )
 from repro.graph.graph import Graph
 
-from conftest import vertex_set_family
+from helpers import vertex_set_family
 
 
 class TestBuildHierarchy:

@@ -11,7 +11,7 @@ from repro.graph.generators import (
     ring_of_cliques,
 )
 
-from conftest import vertex_set_family
+from helpers import vertex_set_family
 
 
 class TestKSweep:

@@ -15,7 +15,7 @@ from repro.graph.generators import (
 )
 from repro.graph.graph import Graph
 
-from conftest import assert_is_induced_subgraph, vertex_set_family
+from helpers import assert_is_induced_subgraph, vertex_set_family
 
 
 class TestValidation:

@@ -21,7 +21,7 @@ from repro.core.kvcc import kvcc_vertex_sets
 from repro.core.variants import VARIANTS
 from repro.graph.generators import gnm_random_graph, gnp_random_graph
 
-from conftest import random_connected_graph, vertex_set_family
+from helpers import random_connected_graph, vertex_set_family
 
 
 def reference(graph, k):

@@ -20,7 +20,7 @@ from repro.graph.generators import gnp_random_graph
 from repro.graph.metrics import diameter
 from repro.graph.graph import Graph
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 
 
 def graphs_for_property_tests():

@@ -6,7 +6,7 @@ from repro.core.partition import overlap_partition, partition_vertex_sets
 from repro.graph.generators import overlapping_cliques_graph
 from repro.graph.graph import Graph
 
-from conftest import assert_is_induced_subgraph
+from helpers import assert_is_induced_subgraph
 
 
 class TestOverlapPartition:

@@ -20,7 +20,7 @@ from repro.graph.generators import (
 )
 from repro.graph.graph import Graph
 
-from conftest import vertex_set_family
+from helpers import vertex_set_family
 
 
 @settings(max_examples=25, deadline=None)

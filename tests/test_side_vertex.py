@@ -12,7 +12,7 @@ from repro.core.side_vertex import (
 from repro.graph.generators import complete_graph, cycle_graph, gnp_random_graph
 from repro.graph.graph import Graph
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 
 
 class TestKCommonPartners:
