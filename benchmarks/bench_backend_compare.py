@@ -1,31 +1,47 @@
-"""Micro-benchmark: dict-Graph backend vs CSR-view backend.
+"""Micro-benchmark: dict-Graph backend vs CSR-view backend, serial vs parallel.
 
-Times the two operations the tentpole refactor targets, on a mid-size
-generator graph:
+Times the operations the last two tentpole refactors target, on mid-size
+generator graphs:
 
 * **peel** - k-core peeling (``peel_in_place`` on a fresh dict copy vs
   ``SubgraphView.peel`` on a fresh view over a shared CSR base);
-* **enumerate** - the full ``enumerate_kvccs`` pipeline per backend.
+* **enumerate** - the full ``enumerate_kvccs`` pipeline per backend;
+* **serial vs parallel** - the CSR pipeline under the serial engine vs
+  the ``--workers N`` process-pool engine, on the single-component
+  web-graph stand-in (pessimal: little fan-out before the first cuts)
+  and on a sharded multi-community workload (top-level fan-out, the
+  shape the engine is built for).
 
 Run directly (not under pytest-benchmark; this is a plain script so CI
 can execute it without extra plugins)::
 
     PYTHONPATH=src python benchmarks/bench_backend_compare.py
     PYTHONPATH=src python benchmarks/bench_backend_compare.py --quick
+    PYTHONPATH=src python benchmarks/bench_backend_compare.py --workers 4
 
-The acceptance bar for the refactor is CSR >= 1.5x on this graph; the
-measured numbers are recorded in CHANGES.md.
+The acceptance bar for the CSR refactor is >= 1.5x over dict on the
+web graph; for the parallel engine it is >= 1.5x over serial CSR on the
+sharded workload *on machines exposing >= 2 CPUs* (the single-component
+web graph is documented as too serial to benefit - its first GLOBAL-CUT
+dominates the critical path - and on a single-CPU machine the parallel
+rows degrade to an equivalence check plus an overhead measurement and
+are not gated).  Measured numbers are recorded in CHANGES.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import time
 
 from repro.core.kvcc import enumerate_kvccs
 from repro.core.options import KVCCOptions
 from repro.graph.core_decomposition import peel_in_place
-from repro.graph.generators import ring_of_cliques, web_graph
+from repro.graph.generators import (
+    assemble_communities,
+    ring_of_cliques,
+    web_graph,
+)
 from repro.graph.graph import Graph
 
 
@@ -69,6 +85,45 @@ def bench_enumerate(graph: Graph, k: int, repeats: int) -> tuple:
     return t_dict, t_csr
 
 
+def bench_parallel(graph: Graph, k: int, workers: int, repeats: int) -> tuple:
+    """Serial CSR enumerate vs the process-pool engine on the same graph."""
+    serial_opts = KVCCOptions(backend="csr")
+    par_opts = KVCCOptions(backend="csr", workers=workers)
+
+    # Capture the last timed run's result so the equivalence assertion
+    # below does not cost two extra full enumerations.
+    results = {}
+
+    def run_serial():
+        results["serial"] = enumerate_kvccs(graph, k, serial_opts)
+
+    def run_par():
+        results["par"] = enumerate_kvccs(graph, k, par_opts)
+
+    t_serial = _time(run_serial, repeats)
+    t_par = _time(run_par, repeats)
+    a = [tuple(sorted(c.vertices(), key=str)) for c in results["serial"]]
+    b = [tuple(sorted(c.vertices(), key=str)) for c in results["par"]]
+    assert a == b, "engines disagree on results or ordering"
+    return t_serial, t_par
+
+
+def _sharded_graph(quick: bool) -> Graph:
+    """Disjoint web communities: the fan-out-friendly sharded shape.
+
+    ``cross_edges=0`` keeps the communities separate components - even a
+    handful of surviving cross edges merges k-cores into one giant
+    component whose first GLOBAL-CUT re-serializes the critical path.
+    """
+    parts = 4 if quick else 8
+    size = 300 if quick else 600
+    communities = [
+        web_graph(size, out_degree=8, copy_prob=0.65, seed=40 + i)
+        for i in range(parts)
+    ]
+    return assemble_communities(communities, cross_edges=0, seed=40)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -76,6 +131,10 @@ def main() -> int:
         help="small graph / single repeat (CI smoke mode)",
     )
     parser.add_argument("-k", type=int, default=None, help="threshold")
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="pool size for the serial-vs-parallel column (default 4)",
+    )
     args = parser.parse_args()
 
     graph = _mid_size_graph(args.quick)
@@ -104,6 +163,37 @@ def main() -> int:
         f"csr {t_csr * 1e3:8.1f} ms   speedup {speedup:5.2f}x"
     )
 
+    # Serial-vs-parallel column (same CSR backend, engine differs).
+    workers = args.workers
+    cpus = os.cpu_count() or 1
+    t_ser, t_par = bench_parallel(graph, k, workers, repeats)
+    par_speedup = t_ser / t_par
+    print(
+        f"engine (k={k}, web): serial {t_ser * 1e3:8.1f} ms   "
+        f"pool{workers} {t_par * 1e3:8.1f} ms   speedup {par_speedup:5.2f}x"
+    )
+    if par_speedup < 1.5:
+        print(
+            "  note: the web stand-in is one component whose first "
+            "GLOBAL-CUT dominates the critical path - too little "
+            "fan-out for process parallelism to pay for pool startup"
+        )
+
+    sharded = _sharded_graph(args.quick)
+    t_ser2, t_par2 = bench_parallel(sharded, k, workers, repeats)
+    shard_speedup = t_ser2 / t_par2
+    print(
+        f"engine (k={k}, sharded n={sharded.num_vertices} "
+        f"m={sharded.num_edges}): serial {t_ser2 * 1e3:8.1f} ms   "
+        f"pool{workers} {t_par2 * 1e3:8.1f} ms   speedup {shard_speedup:5.2f}x"
+    )
+    if cpus < 2:
+        print(
+            f"  note: this machine exposes {cpus} CPU - a process pool "
+            "cannot exceed 1x here; the parallel rows only validate "
+            "engine equivalence and measure dispatch overhead"
+        )
+
     if not args.quick:
         # Secondary series: a partition-heavy shape (many small parts,
         # worst case for mask-based views) to keep the comparison honest.
@@ -116,6 +206,15 @@ def main() -> int:
 
     if not args.quick and speedup < 1.5:
         print("WARNING: CSR speedup below the 1.5x acceptance bar")
+        return 1
+    if not args.quick and cpus >= 2 and shard_speedup < 1.5:
+        # The parallel bar only applies where parallelism is possible;
+        # on a single-CPU machine the rows above degrade to an overhead
+        # measurement (see note) and are not gated.
+        print(
+            "WARNING: parallel speedup below the 1.5x acceptance bar "
+            "on the sharded workload"
+        )
         return 1
     return 0
 

@@ -12,10 +12,19 @@ Public entry points
     VCCE-G, VCCE*).
 :mod:`~repro.core.connectivity_api`
     Whole-graph helpers: ``is_k_connected``, ``vertex_connectivity``.
+:mod:`~repro.core.engine`
+    Execution engines draining the KVCC-ENUM worklist: the serial
+    reference driver and the multiprocessing fan-out
+    (``KVCCOptions(workers=N)``).
 """
 
 from repro.core.options import KVCCOptions
 from repro.core.stats import RunStats
+from repro.core.engine import (
+    ProcessPoolEngine,
+    SerialEngine,
+    create_engine,
+)
 from repro.core.kvcc import enumerate_kvccs, vccs_containing
 from repro.core.partition import overlap_partition
 from repro.core.global_cut import global_cut
@@ -39,6 +48,9 @@ from repro.core.variants import (
 __all__ = [
     "KVCCOptions",
     "RunStats",
+    "SerialEngine",
+    "ProcessPoolEngine",
+    "create_engine",
     "enumerate_kvccs",
     "vccs_containing",
     "overlap_partition",

@@ -12,6 +12,7 @@ free, and the tests lean on them heavily:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Optional, Set, Union
 
@@ -33,11 +34,44 @@ _QUERY_OPTIONS = KVCCOptions(
 )
 
 
-def is_k_connected(graph: Graph, k: int) -> bool:
+def _query_options(options: Optional[KVCCOptions]) -> KVCCOptions:
+    """The tuned single-query preset, adopting only the *execution*
+    fields (``backend``, ``workers``, ``seed``) of a caller-provided
+    options object.
+
+    Callers pass options here to standardize on one engine-configured
+    object across enumeration and query calls; silently re-enabling the
+    sweep machinery the preset deliberately turns off (it only costs
+    time when each answer is computed once) would be an unrequested
+    slowdown, so the strategy switches are *not* taken over.
+
+    Of the adopted fields only ``seed`` changes today's behavior: a
+    query is a single GLOBAL-CUT call, which runs on whatever graph
+    representation it is handed and never spawns an engine, so
+    ``backend`` and ``workers`` are carried for API symmetry and for
+    any future enumeration-backed query path, not for effect.
+    """
+    if options is None:
+        return _QUERY_OPTIONS
+    return dataclasses.replace(
+        _QUERY_OPTIONS,
+        backend=options.backend,
+        workers=options.workers,
+        seed=options.seed,
+    )
+
+
+def is_k_connected(
+    graph: Graph, k: int, options: Optional[KVCCOptions] = None
+) -> bool:
     """Definition 2: ``|V| > k`` and no removal of ``k - 1`` vertices
     disconnects the graph.
 
-    ``k = 0`` is satisfied by any non-empty graph.
+    ``k = 0`` is satisfied by any non-empty graph.  ``options`` lets
+    callers standardize on one configured object across enumeration and
+    query calls - see :func:`_query_options` for exactly which fields a
+    query adopts (in practice only ``seed``); the strategy switches
+    always stay at the minimal single-query configuration.
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
@@ -48,10 +82,12 @@ def is_k_connected(graph: Graph, k: int) -> bool:
         return False
     if not is_connected(graph):
         return False
-    return global_cut(graph, k, _QUERY_OPTIONS) is None
+    return global_cut(graph, k, _query_options(options)) is None
 
 
-def vertex_connectivity(graph: Graph) -> int:
+def vertex_connectivity(
+    graph: Graph, options: Optional[KVCCOptions] = None
+) -> int:
     """``kappa(G)`` (Definition 1): size of a minimum vertex cut.
 
     A complete graph ``K_n`` has connectivity ``n - 1`` (only a trivial
@@ -67,14 +103,16 @@ def vertex_connectivity(graph: Graph) -> int:
     lo, hi = 1, n - 1
     while lo < hi:
         mid = (lo + hi + 1) // 2
-        if is_k_connected(graph, mid):
+        if is_k_connected(graph, mid, options):
             lo = mid
         else:
             hi = mid - 1
     return lo
 
 
-def minimum_vertex_cut(graph: Graph) -> Set[Vertex]:
+def minimum_vertex_cut(
+    graph: Graph, options: Optional[KVCCOptions] = None
+) -> Set[Vertex]:
     """A minimum vertex cut of a connected, non-complete graph.
 
     Computes ``kappa(G)`` by binary search and then extracts a cut of
@@ -94,10 +132,10 @@ def minimum_vertex_cut(graph: Graph) -> Set[Vertex]:
         raise ValueError("minimum vertex cut needs at least two vertices")
     if not is_connected(graph):
         raise ValueError("minimum vertex cut of a disconnected graph")
-    kappa = vertex_connectivity(graph)
+    kappa = vertex_connectivity(graph, options)
     if kappa >= n - 1:
         raise ValueError("complete graph has no vertex cut")
-    cut = global_cut(graph, kappa + 1, _QUERY_OPTIONS)
+    cut = global_cut(graph, kappa + 1, _query_options(options))
     assert cut is not None and len(cut) == kappa
     return cut
 

@@ -1,0 +1,407 @@
+"""Execution engines for the KVCC-ENUM worklist (Algorithm 1's driver).
+
+After OVERLAP-PARTITION the worklist items are *independent*: cut
+vertices are duplicated into every part (Lemma 8), so no child's result
+depends on any sibling's.  That makes the recursion embarrassingly
+parallel once the first cut is found, and this module turns the former
+in-line worklist loop of :mod:`repro.core.kvcc` into a schedulable
+subsystem with two interchangeable engines:
+
+* :class:`SerialEngine` - the reference driver: a LIFO stack drained on
+  the calling thread, byte-for-byte the behavior the paper's Algorithm 1
+  pseudocode and the pre-engine releases had.
+* :class:`ProcessPoolEngine` - fans worklist items out to a
+  ``multiprocessing`` worker pool.  The immutable CSR base is shipped
+  **at most once per worker** (in the pool initializer under spawn;
+  under Linux fork it is inherited copy-on-write and never pickled at
+  all); after that each task travels as a compact payload - ``bytes(view.mask)`` plus the
+  inherited/recheck strong-side-vertex id sets - and each result comes
+  back as either a leaf (the k-VCC's member ids) or a list of child
+  payloads to reschedule.  Per-task :class:`~repro.core.stats.RunStats`
+  are merged into the caller's sink, and leaves are re-sorted by their
+  position in the recursion tree so the output order is deterministic
+  and *identical to the serial engine's*.
+
+Determinism
+-----------
+Every work item carries a ``path``: the tuple of child indices from its
+root (roots are ``(i,)`` in connected-component order, the ``j``-th
+child of a partition appends ``j``).  The serial stack pops the most
+recently pushed item first, which emits k-VCC leaves exactly in
+*descending lexicographic* path order - so the parallel engine, which
+completes leaves in whatever order the pool schedules them, just sorts
+by path to reproduce the serial output order.  Counters are computed by
+the same single-step code (:func:`expand_work_item`) in both engines, so
+all deterministic :meth:`~repro.core.stats.RunStats.counters` agree as
+well; only wall-clock and peak-residency proxies may differ.
+
+Both engines accept both graph backends.  On ``"dict"`` the per-item
+payload is the induced :class:`~repro.graph.graph.Graph` itself (no
+shared base exists to ship).  One caveat: worker-side set iteration
+must hash like the master's for the recursion to pick identical cuts.
+That holds unconditionally for the CSR backend and integer-labeled
+dict graphs (integer hashes are value-determined) and under the fork
+start method (Linux default; forked workers share the master's hash
+seed).  The one divergent combination is string-labeled *dict-backend*
+graphs under a *spawn* context (macOS/Windows default): each spawned
+worker draws a fresh hash seed, so an equally valid but different cut
+may be chosen and leaf order / partition counters can differ from the
+serial run - export ``PYTHONHASHSEED`` before launching Python to make
+that combination deterministic too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable, List, Optional, Set, Tuple, Union
+
+from repro.core.global_cut import global_cut
+from repro.core.options import KVCCOptions
+from repro.core.partition import overlap_partition
+from repro.core.side_vertex import split_inheritance, strong_side_vertices
+from repro.core.stats import RunStats, Timer
+from repro.graph.connectivity import connected_components
+from repro.graph.core_decomposition import peel_in_place
+from repro.graph.csr import CSRGraph, SubgraphView
+from repro.graph.graph import Graph, Vertex
+
+#: A worklist subgraph: a zero-copy view (CSR backend) or an owned Graph.
+WorkGraph = Union[Graph, SubgraphView]
+
+#: Worklist entry: (subgraph, inherited strong set, recheck set).  The
+#: two sets are ``None`` for roots, which get a full Theorem-8 scan.
+WorkItem = Tuple[WorkGraph, Optional[Set[Vertex]], Optional[Set[Vertex]]]
+
+
+def subgraph_of(parent: WorkGraph, members: Iterable[Vertex]) -> WorkGraph:
+    """Backend dispatch for taking a worklist child subgraph."""
+    if isinstance(parent, SubgraphView):
+        return parent.restrict(members)
+    return parent.induced_subgraph(members)
+
+
+def finalize_work_graph(sub: WorkGraph) -> Graph:
+    """Convert a proven k-VCC into the returned :class:`Graph`."""
+    if isinstance(sub, SubgraphView):
+        return sub.materialize()
+    return sub
+
+
+def expand_work_item(
+    sub: WorkGraph,
+    inherited: Optional[Set[Vertex]],
+    recheck: Optional[Set[Vertex]],
+    k: int,
+    options: KVCCOptions,
+    stats: RunStats,
+) -> Optional[List[WorkItem]]:
+    """One step of Algorithm 1 on one worklist item.
+
+    Runs the strong side-vertex maintenance (Lemmas 15-16), GLOBAL-CUT,
+    and - when a cut is found - OVERLAP-PARTITION plus the per-part
+    k-core peel.  Returns ``None`` when ``sub`` is a k-VCC (and counts
+    it), otherwise the list of child work items in deterministic push
+    order.  Both engines run exactly this code per item, which is what
+    keeps their counters and results identical.
+    """
+    strong: Optional[Set[Vertex]] = None
+    if options.side_vertices_enabled:
+        if inherited is not None:
+            strong = inherited | strong_side_vertices(sub, k, recheck)
+        else:
+            strong = strong_side_vertices(sub, k)
+
+    cut = global_cut(sub, k, options, stats, precomputed_strong=strong)
+    if cut is None:
+        stats.kvccs_found += 1
+        return None
+
+    stats.partitions += 1
+    maintain = (
+        options.side_vertices_enabled and options.maintain_side_vertices
+    )
+    children: List[WorkItem] = []
+    for part in overlap_partition(sub, cut):
+        peel_in_place(part, k)
+        for comp in connected_components(part):
+            if len(comp) <= k:
+                continue
+            child = subgraph_of(part, comp)
+            if maintain and strong is not None:
+                inh, re = split_inheritance(sub, child, strong)
+                children.append((child, inh, re))
+            else:
+                children.append((child, None, None))
+    return children
+
+
+def root_work_items(
+    work: WorkGraph, k: int, stats: RunStats
+) -> List[WorkGraph]:
+    """Peel ``work`` to its k-core and split it into root subgraphs.
+
+    Mutates ``work`` (the engines own it) and records the peeled vertex
+    count; components of at most ``k`` vertices cannot hold a k-VCC
+    (Definition 4 requires ``|V| > k``) and are dropped.
+    """
+    stats.kcore_removed_vertices += len(peel_in_place(work, k))
+    return [
+        subgraph_of(work, comp)
+        for comp in connected_components(work)
+        if len(comp) > k
+    ]
+
+
+class SerialEngine:
+    """Drain the worklist on the calling thread (the reference driver)."""
+
+    name = "serial"
+
+    def run(
+        self,
+        work: WorkGraph,
+        k: int,
+        options: KVCCOptions,
+        stats: RunStats,
+    ) -> List[Graph]:
+        """All k-VCCs inside ``work`` (which this engine consumes)."""
+        with Timer(stats):
+            result: List[Graph] = []
+            stack: List[WorkItem] = []
+            resident = 0
+            for sub in root_work_items(work, k, stats):
+                stack.append((sub, None, None))
+                resident += sub.num_vertices
+            stats.peak_resident_vertices = max(
+                stats.peak_resident_vertices, resident
+            )
+            while stack:
+                sub, inherited, recheck = stack.pop()
+                resident -= sub.num_vertices
+                children = expand_work_item(
+                    sub, inherited, recheck, k, options, stats
+                )
+                if children is None:
+                    result.append(finalize_work_graph(sub))
+                    continue
+                for item in children:
+                    stack.append(item)
+                    resident += item[0].num_vertices
+                stats.peak_resident_vertices = max(
+                    stats.peak_resident_vertices, resident
+                )
+        return result
+
+
+# ----------------------------------------------------------------------
+# Process-pool engine
+# ----------------------------------------------------------------------
+
+#: Tree address of a work item: root index, then child index per level.
+#: Serial emission order is descending lexicographic order of paths.
+_Path = Tuple[int, ...]
+
+#: Wire format of one work item: (body, inherited, recheck) where body
+#: is ``bytes(mask)`` on the CSR backend or the ``Graph`` itself on dict.
+_Payload = Tuple[
+    Union[bytes, Graph], Optional[frozenset], Optional[frozenset]
+]
+
+#: Per-worker immutable context: (CSR base or None, k, options).
+_WORKER_STATE: Optional[Tuple[Optional[CSRGraph], int, KVCCOptions]] = None
+
+
+def _encode_work_item(
+    sub: WorkGraph,
+    inherited: Optional[Set[Vertex]],
+    recheck: Optional[Set[Vertex]],
+) -> Tuple[_Payload, int]:
+    """Serialize a work item into its wire payload plus its vertex count
+    (kept master-side for the peak-residency proxy)."""
+    body = bytes(sub.mask) if isinstance(sub, SubgraphView) else sub
+    return (
+        (
+            body,
+            None if inherited is None else frozenset(inherited),
+            None if recheck is None else frozenset(recheck),
+        ),
+        sub.num_vertices,
+    )
+
+
+def _init_worker(
+    base: Optional[CSRGraph], k: int, options: KVCCOptions
+) -> None:
+    """Pool initializer: receive the per-worker immutable context.
+
+    This is the single point where the CSR base crosses a process
+    boundary - at most once per worker, never per task.  Under a spawn
+    context the initargs are pickled once per worker; under fork they
+    are plain references inherited with the parent's address space, so
+    the base is never pickled at all.
+    """
+    global _WORKER_STATE
+    _WORKER_STATE = (base, k, options)
+
+
+def _run_work_item(payload: _Payload):
+    """Execute one worklist step in a worker process.
+
+    Returns ``("vcc", members, stats)`` for a leaf - ``members`` is the
+    sorted id list on CSR (the master rematerializes against its own
+    base) or the induced ``Graph`` on dict - and
+    ``("split", [(payload, size), ...], stats)`` otherwise.
+    """
+    base, k, options = _WORKER_STATE
+    body, inherited, recheck = payload
+    sub = base.view_from_mask(body) if base is not None else body
+    stats = RunStats(k=k)
+    stats.parallel_tasks = 1
+    children = expand_work_item(
+        sub,
+        None if inherited is None else set(inherited),
+        None if recheck is None else set(recheck),
+        k,
+        options,
+        stats,
+    )
+    if children is None:
+        members = (
+            list(sub.active_list())
+            if isinstance(sub, SubgraphView)
+            else sub
+        )
+        return ("vcc", members, stats)
+    return (
+        "split",
+        [_encode_work_item(c, inh, re) for c, inh, re in children],
+        stats,
+    )
+
+
+class ProcessPoolEngine:
+    """Fan independent worklist items out to ``multiprocessing`` workers.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``0`` means ``os.cpu_count()``.  (``workers=1`` is
+        accepted and runs a one-process pool - useful for testing the
+        machinery - but :func:`create_engine` routes 1 to
+        :class:`SerialEngine`.)
+    mp_context:
+        Optional ``multiprocessing`` context.  The default uses ``fork``
+        on Linux (cheap worker startup, and the CSR base is inherited
+        copy-on-write instead of being pickled per worker) and the
+        platform default elsewhere - notably macOS, where CPython
+        switched the default to ``spawn`` because forked children crash
+        inside Apple frameworks.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 0, mp_context=None) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers or (os.cpu_count() or 1)
+        self._mp_context = mp_context
+
+    def _context(self):
+        if self._mp_context is not None:
+            return self._mp_context
+        # Only Linux gets fork by preference: fork is *listed* as
+        # available on macOS too, but forked children abort inside
+        # Apple frameworks (which is why 3.8 made spawn the default
+        # there) - respect that default everywhere but Linux.
+        if sys.platform.startswith("linux"):
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def run(
+        self,
+        work: WorkGraph,
+        k: int,
+        options: KVCCOptions,
+        stats: RunStats,
+    ) -> List[Graph]:
+        """All k-VCCs inside ``work``, in the serial engine's order."""
+        with Timer(stats):
+            roots = root_work_items(work, k, stats)
+            if not roots:
+                return []
+            base = work.base if isinstance(work, SubgraphView) else None
+            # Workers never re-parallelize: a forked pool inside a
+            # daemonic worker is forbidden, and the fan-out already
+            # saturates this pool.
+            worker_options = dataclasses.replace(options, workers=1)
+
+            pending: List[Tuple[_Path, _Payload, int]] = []
+            for i, sub in enumerate(roots):
+                payload, size = _encode_work_item(sub, None, None)
+                pending.append(((i,), payload, size))
+            resident = sum(size for _, _, size in pending)
+            peak = resident
+
+            leaves: List[Tuple[_Path, Union[List[int], Graph]]] = []
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._context(),
+                initializer=_init_worker,
+                initargs=(base, k, worker_options),
+            ) as pool:
+                inflight = {}
+                while pending or inflight:
+                    while pending:
+                        path, payload, size = pending.pop()
+                        future = pool.submit(_run_work_item, payload)
+                        inflight[future] = (path, size)
+                    done, _ = wait(
+                        set(inflight), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        path, size = inflight.pop(future)
+                        kind, data, task_stats = future.result()
+                        stats.merge(task_stats)
+                        resident -= size
+                        if kind == "vcc":
+                            leaves.append((path, data))
+                            continue
+                        for j, (payload, child_size) in enumerate(data):
+                            pending.append((path + (j,), payload, child_size))
+                            resident += child_size
+                        peak = max(peak, resident)
+            stats.peak_resident_vertices = max(
+                stats.peak_resident_vertices, peak
+            )
+
+            # Descending lexicographic path order == the order the serial
+            # LIFO stack emits leaves (later roots first, last-pushed
+            # child's subtree before its earlier siblings).
+            leaves.sort(key=lambda leaf: leaf[0], reverse=True)
+            if base is None:
+                return [graph for _, graph in leaves]
+            return [
+                base.materialize_members(members) for _, members in leaves
+            ]
+
+
+def create_engine(
+    options: KVCCOptions,
+) -> Union[SerialEngine, ProcessPoolEngine]:
+    """The engine selected by ``options.workers``.
+
+    ``workers=1`` (the default) is the serial reference driver;
+    ``workers=0`` a process pool sized to the machine; ``workers=N>1``
+    a pool of exactly ``N`` processes.
+    """
+    if options.workers < 0:
+        raise ValueError(
+            f"options.workers must be >= 0, got {options.workers}"
+        )
+    if options.workers == 1:
+        return SerialEngine()
+    return ProcessPoolEngine(options.workers)

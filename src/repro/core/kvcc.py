@@ -28,26 +28,24 @@ Two backends share the worklist logic (selected by
   into labeled :class:`Graph` objects.
 * ``"dict"`` - the original adjacency-set path, kept as the reference
   implementation; every recursion step copies an induced subgraph.
+
+The worklist itself is drained by an execution engine from
+:mod:`repro.core.engine`, selected by
+:attr:`~repro.core.options.KVCCOptions.workers`: the default serial
+engine, or a process pool that fans the independent post-partition
+items out across cores with identical results and ordering.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple, Union
+from typing import List, Optional, Set
 
-from repro.core.global_cut import global_cut
+from repro.core.engine import create_engine
 from repro.core.options import KVCCOptions
-from repro.core.partition import overlap_partition
-from repro.core.side_vertex import split_inheritance, strong_side_vertices
 from repro.core.stats import RunStats, Timer
 from repro.graph.connectivity import connected_components
 from repro.graph.core_decomposition import peel_in_place
-from repro.graph.csr import SubgraphView
 from repro.graph.graph import Graph, Vertex
-
-#: Worklist entry: (subgraph, inherited strong set, recheck set).  The two
-#: sets are ``None`` for the roots, which get a full Theorem-8 scan.  The
-#: subgraph is a ``Graph`` on the dict backend, a ``SubgraphView`` on CSR.
-_WorkItem = Tuple[Union[Graph, SubgraphView], Optional[Set[Vertex]], Optional[Set[Vertex]]]
 
 
 def enumerate_kvccs(
@@ -102,89 +100,13 @@ def enumerate_kvccs(
 
     if options.backend == "csr":
         work = graph.to_csr().full_view()
-        subgraph_of = SubgraphView.restrict
-        finalize = SubgraphView.materialize
     elif options.backend == "dict":
         work = graph.copy()
-        subgraph_of = Graph.induced_subgraph
-        finalize = None
     else:
         raise ValueError(
             f"unknown backend {options.backend!r}; expected 'csr' or 'dict'"
         )
-    return _enumerate_worklist(work, k, options, stats, subgraph_of, finalize)
-
-
-def _enumerate_worklist(
-    work: Union[Graph, SubgraphView],
-    k: int,
-    options: KVCCOptions,
-    stats: RunStats,
-    subgraph_of,
-    finalize,
-) -> List[Graph]:
-    """The shared Algorithm-1 worklist, parameterized by backend.
-
-    ``subgraph_of(parent, members)`` produces a worklist child (a mask
-    restriction on CSR, an induced-subgraph copy on dict); ``finalize``
-    converts a proven k-VCC to its returned :class:`Graph` (CSR
-    materializes, dict subgraphs already are the answer).  ``work`` is
-    owned by this function and peeled in place.
-    """
-    with Timer(stats):
-        result: List[Graph] = []
-        stats.kcore_removed_vertices += len(peel_in_place(work, k))
-
-        stack: List[_WorkItem] = []
-        resident = 0
-        for comp in connected_components(work):
-            if len(comp) > k:
-                sub = subgraph_of(work, comp)
-                stack.append((sub, None, None))
-                resident += sub.num_vertices
-        stats.peak_resident_vertices = max(
-            stats.peak_resident_vertices, resident
-        )
-
-        maintain = (
-            options.side_vertices_enabled and options.maintain_side_vertices
-        )
-        while stack:
-            sub, inherited, recheck = stack.pop()
-            resident -= sub.num_vertices
-
-            strong: Optional[Set[Vertex]] = None
-            if options.side_vertices_enabled:
-                if inherited is not None:
-                    strong = inherited | strong_side_vertices(sub, k, recheck)
-                else:
-                    strong = strong_side_vertices(sub, k)
-
-            cut = global_cut(
-                sub, k, options, stats, precomputed_strong=strong
-            )
-            if cut is None:
-                result.append(finalize(sub) if finalize is not None else sub)
-                stats.kvccs_found += 1
-                continue
-
-            stats.partitions += 1
-            for part in overlap_partition(sub, cut):
-                peel_in_place(part, k)
-                for comp in connected_components(part):
-                    if len(comp) <= k:
-                        continue
-                    child = subgraph_of(part, comp)
-                    if maintain and strong is not None:
-                        inh, re = split_inheritance(sub, child, strong)
-                        stack.append((child, inh, re))
-                    else:
-                        stack.append((child, None, None))
-                    resident += child.num_vertices
-            stats.peak_resident_vertices = max(
-                stats.peak_resident_vertices, resident
-            )
-    return result
+    return create_engine(options).run(work, k, options, stats)
 
 
 def kvcc_vertex_sets(

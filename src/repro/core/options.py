@@ -9,7 +9,7 @@ in :mod:`repro.core.variants`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 
 
 @dataclass(frozen=True)
@@ -57,6 +57,13 @@ class KVCCOptions:
         original adjacency-set path that copies an induced subgraph per
         recursion step.  Both return identical k-VCC families (enforced
         by the backend-parity property tests).
+    workers:
+        Execution-engine selector (see :mod:`repro.core.engine`): ``1``
+        (the default) drains the worklist serially on the calling
+        thread; ``N > 1`` fans independent worklist items out to a pool
+        of ``N`` worker processes; ``0`` sizes the pool to the machine's
+        CPU count.  Results and deterministic counters are identical
+        across all settings.
     """
 
     use_certificate: bool = True
@@ -68,11 +75,23 @@ class KVCCOptions:
     seed: int = 0
     tarjan_k2: bool = False
     backend: str = "csr"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(
+                f"workers must be >= 0 (0 = one per CPU), got {self.workers}"
+            )
 
     @property
     def side_vertices_enabled(self) -> bool:
         """Strong side-vertices are needed by either sweep family."""
         return self.neighbor_sweep or self.group_sweep
+
+    @property
+    def engine(self) -> str:
+        """Execution engine implied by ``workers``: serial or process."""
+        return "serial" if self.workers == 1 else "process"
 
     def describe(self) -> str:
         """Short human-readable tag, e.g. for benchmark labels."""
@@ -87,4 +106,28 @@ class KVCCOptions:
             parts.append("nocert")
         if self.backend != "csr":
             parts.append(self.backend)
+        if self.workers == 0:
+            parts.append("pool-auto")
+        elif self.workers != 1:
+            parts.append(f"pool{self.workers}")
         return "+".join(parts)
+
+    def to_dict(self) -> dict:
+        """All fields as a plain dict (JSON-friendly round-trip form)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KVCCOptions":
+        """Rebuild options from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` (loud failure on configs
+        written by a different version) and missing keys keep their
+        defaults, so old configs keep loading after new fields appear.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown KVCCOptions fields: {sorted(unknown)}"
+            )
+        return cls(**data)

@@ -51,9 +51,32 @@ class RunStats:
     certificate_edges_input: int = 0
     #: Peak number of vertices resident across the work stack, a
     #: machine-independent memory proxy (Figure 12 additionally measures
-    #: tracemalloc peaks in the experiment driver).
+    #: tracemalloc peaks in the experiment driver).  Under the parallel
+    #: engine this counts pending plus in-flight items, which can exceed
+    #: the serial stack's depth-first peak.
     peak_resident_vertices: int = 0
+    #: Worklist items executed by pool workers (0 under the serial
+    #: engine; the parallel engine records one per dispatched task).
+    parallel_tasks: int = 0
     elapsed_seconds: float = 0.0
+
+    #: Counters that are deterministic properties of (graph, k, options)
+    #: and therefore identical across execution engines and worker
+    #: counts.  ``peak_resident_vertices``, ``parallel_tasks`` and
+    #: ``elapsed_seconds`` are execution artifacts and excluded.
+    DETERMINISTIC_COUNTERS = (
+        "k",
+        "flow_tests",
+        "phase1_tested",
+        "phase2_tested",
+        "phase2_skipped_group",
+        "global_cut_calls",
+        "partitions",
+        "kvccs_found",
+        "kcore_removed_vertices",
+        "certificate_edges_kept",
+        "certificate_edges_input",
+    )
 
     # ------------------------------------------------------------------
     def record_prune(self, reason: str) -> None:
@@ -80,8 +103,26 @@ class RunStats:
         out["non_pruned"] = self.phase1_tested / total
         return out
 
+    def counters(self) -> Dict[str, int]:
+        """The deterministic counters as a flat dict.
+
+        This is the comparison form the serial/parallel equivalence
+        suite asserts on: every entry must be identical for the same
+        (graph, k, options) no matter which engine or worker count ran
+        the enumeration.
+        """
+        out = {name: getattr(self, name) for name in self.DETERMINISTIC_COUNTERS}
+        for rule in sorted(self.phase1_pruned):
+            out[f"phase1_pruned.{rule}"] = self.phase1_pruned[rule]
+        return out
+
     def merge(self, other: "RunStats") -> None:
-        """Accumulate another run's counters into this one (for k sweeps)."""
+        """Accumulate another run's counters into this one.
+
+        Additive counters sum and ``peak_resident_vertices`` takes the
+        max, so the operation serves both the k-sweep drivers (merging
+        whole runs) and the parallel engine (merging per-task deltas).
+        """
         self.flow_tests += other.flow_tests
         self.phase1_tested += other.phase1_tested
         for rule, count in other.phase1_pruned.items():
@@ -97,6 +138,7 @@ class RunStats:
         self.peak_resident_vertices = max(
             self.peak_resident_vertices, other.peak_resident_vertices
         )
+        self.parallel_tasks += other.parallel_tasks
         self.elapsed_seconds += other.elapsed_seconds
 
 

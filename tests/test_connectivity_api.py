@@ -160,3 +160,34 @@ def test_vertex_connectivity_property(seed):
     assert kappa == nx.node_connectivity(g.to_networkx())
     assert is_k_connected(g, kappa) or g.num_vertices <= kappa
     assert not is_k_connected(g, kappa + 1)
+
+
+class TestQueryOptionsWiring:
+    """The options passthrough added with the execution-engine PR."""
+
+    def test_query_options_adopts_only_execution_fields(self):
+        from repro.core.connectivity_api import _query_options
+        from repro.core.options import KVCCOptions
+
+        merged = _query_options(KVCCOptions(backend="dict", workers=4, seed=9))
+        assert merged.backend == "dict"
+        assert merged.workers == 4
+        assert merged.seed == 9
+        # The single-query preset's strategy switches must survive.
+        assert not merged.neighbor_sweep
+        assert not merged.group_sweep
+        assert not merged.farthest_first
+        assert _query_options(None).workers == 1
+
+    def test_answers_independent_of_options(self):
+        from repro.core.options import KVCCOptions
+
+        configured = KVCCOptions(backend="dict", workers=2)
+        for seed in range(3):
+            g = random_connected_graph(9, 0.4, seed=seed + 7)
+            assert vertex_connectivity(g, configured) == vertex_connectivity(g)
+            kappa = vertex_connectivity(g)
+            assert is_k_connected(g, kappa, configured)
+            if kappa < g.num_vertices - 1:
+                cut = minimum_vertex_cut(g, configured)
+                assert len(cut) == kappa

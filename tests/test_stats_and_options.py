@@ -70,6 +70,39 @@ class TestRunStats:
             pass
         assert stats.elapsed_seconds >= 0.01  # accumulates
 
+    def test_merge_parallel_tasks(self):
+        a = RunStats()
+        a.parallel_tasks = 2
+        b = RunStats()
+        b.parallel_tasks = 5
+        a.merge(b)
+        assert a.parallel_tasks == 7  # additive, like the other counters
+
+    def test_counters_snapshot(self):
+        stats = RunStats(k=4)
+        stats.flow_tests = 3
+        stats.partitions = 2
+        stats.phase1_pruned[PRUNE_NS1] = 9
+        # Execution artifacts must not leak into the deterministic view.
+        stats.elapsed_seconds = 1.23
+        stats.peak_resident_vertices = 50
+        stats.parallel_tasks = 4
+        counters = stats.counters()
+        assert counters["k"] == 4
+        assert counters["flow_tests"] == 3
+        assert counters["partitions"] == 2
+        assert counters[f"phase1_pruned.{PRUNE_NS1}"] == 9
+        assert "elapsed_seconds" not in counters
+        assert "peak_resident_vertices" not in counters
+        assert "parallel_tasks" not in counters
+
+    def test_counters_equal_iff_same_run_shape(self):
+        a, b = RunStats(k=3), RunStats(k=3)
+        a.flow_tests = b.flow_tests = 5
+        assert a.counters() == b.counters()
+        b.partitions = 1
+        assert a.counters() != b.counters()
+
 
 class TestKVCCOptions:
     def test_default_is_fully_optimized(self):
@@ -97,9 +130,70 @@ class TestKVCCOptions:
         )
         assert "nocert" in KVCCOptions(use_certificate=False).describe()
 
+    def test_describe_engine_fields(self):
+        assert KVCCOptions().describe() == "NS+GS"  # serial is unmarked
+        assert KVCCOptions(workers=4).describe() == "NS+GS+pool4"
+        assert KVCCOptions(workers=0).describe() == "NS+GS+pool-auto"
+        assert (
+            KVCCOptions(backend="dict", workers=2).describe()
+            == "NS+GS+dict+pool2"
+        )
+
+    def test_engine_property(self):
+        assert KVCCOptions().engine == "serial"
+        assert KVCCOptions(workers=1).engine == "serial"
+        assert KVCCOptions(workers=2).engine == "process"
+        assert KVCCOptions(workers=0).engine == "process"
+
     def test_frozen(self):
         with pytest.raises(Exception):
             KVCCOptions().neighbor_sweep = False  # type: ignore[misc]
+
+    def test_dict_round_trip_default(self):
+        opts = KVCCOptions()
+        assert KVCCOptions.from_dict(opts.to_dict()) == opts
+
+    def test_dict_round_trip_all_fields_changed(self):
+        opts = KVCCOptions(
+            use_certificate=False,
+            neighbor_sweep=False,
+            group_sweep=False,
+            farthest_first=False,
+            source_strong_side_vertex=False,
+            maintain_side_vertices=False,
+            seed=7,
+            tarjan_k2=True,
+            backend="dict",
+            workers=8,
+        )
+        data = opts.to_dict()
+        assert data["workers"] == 8 and data["backend"] == "dict"
+        assert KVCCOptions.from_dict(data) == opts
+
+    def test_from_dict_partial_keeps_defaults(self):
+        opts = KVCCOptions.from_dict({"workers": 3})
+        assert opts.workers == 3
+        assert opts.backend == "csr" and opts.neighbor_sweep
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            KVCCOptions.from_dict({"wrokers": 2})
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            KVCCOptions(workers=-1)
+        with pytest.raises(ValueError, match="workers"):
+            KVCCOptions.from_dict({"workers": -3})
+
+    def test_round_trip_preserves_describe(self):
+        for opts in (
+            KVCCOptions(),
+            KVCCOptions(workers=4),
+            KVCCOptions(backend="dict", use_certificate=False, workers=0),
+        ):
+            clone = KVCCOptions.from_dict(opts.to_dict())
+            assert clone.describe() == opts.describe()
+            assert clone.engine == opts.engine
 
 
 class TestVariantPresets:
