@@ -25,6 +25,14 @@ the compact alternative every interior layer runs on:
 ``Graph`` remains the mutable construction/API type;
 ``Graph.to_csr()`` / ``Graph.from_csr()`` convert at the boundary.
 
+All CSR-side classes pickle compactly so the parallel execution engine
+(:mod:`repro.core.engine`) can ship them to worker processes: a
+:class:`CSRGraph` serializes only ``indptr``/``indices`` (the derived
+``rows`` lists are rebuilt on load), a :class:`VertexInterner` only its
+label list, and a :class:`SubgraphView` its base plus the raw mask bytes
+(degrees are recomputed).  Within one pickle payload the base is
+serialized once no matter how many views reference it.
+
 All three graph-shaped classes implement the informal protocol the
 algorithm layers rely on: ``vertices()``, ``neighbors(v)``, ``degree(v)``,
 ``has_edge(u, v)``, ``num_vertices``, ``num_edges`` and containment.
@@ -90,6 +98,10 @@ class VertexInterner:
 
     def __len__(self) -> int:
         return len(self._labels)
+
+    def __reduce__(self):
+        """Pickle as the label list; ids are reassigned in seen order."""
+        return (VertexInterner, (list(self._labels),))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VertexInterner(n={len(self._labels)})"
@@ -230,6 +242,64 @@ class CSRGraph:
         indptr = self.indptr
         deg = [indptr[i + 1] - indptr[i] for i in range(self.n)]
         return SubgraphView(self, mask, deg, self.n, list(range(self.n)))
+
+    def view_from_mask(self, mask: bytes) -> "SubgraphView":
+        """A view whose active set is the 1-bytes of ``mask``.
+
+        This is the payload decoder for the parallel execution engine:
+        a worklist item travels between processes as ``bytes(view.mask)``
+        and is rebuilt here against the receiver's copy of the base.
+        Active degrees are recomputed, so the mask is the only state
+        that needs to be shipped.
+        """
+        if len(mask) != self.n:
+            raise ValueError(
+                f"mask length {len(mask)} does not match base n={self.n}"
+            )
+        mask = bytearray(mask)
+        verts = [v for v, m in enumerate(mask) if m]
+        deg = [0] * self.n
+        rows = self.rows
+        active = mask.__getitem__
+        for v in verts:
+            deg[v] = sum(map(active, rows[v]))
+        return SubgraphView(self, mask, deg, len(verts), verts)
+
+    def materialize_members(self, members: Iterable[int]) -> Graph:
+        """A labeled :class:`Graph` induced on ``members``, built
+        directly from the CSR rows.
+
+        The single dict-adjacency construction both result paths share:
+        :meth:`SubgraphView.materialize` delegates here with its active
+        list, and the parallel engine calls it directly with the bare
+        member-id list a worker returned per k-VCC leaf (no O(n) mask
+        or degree array needed).
+        """
+        member_set = set(members)
+        rows = self.rows
+        interner = self.interner
+        labels = interner.labels if interner is not None else None
+        adj: Dict[Vertex, Set[Vertex]] = {}
+        num_edges = 0
+        for v in sorted(member_set):
+            row = [w for w in rows[v] if w in member_set]
+            if labels is None:
+                adj[v] = set(row)
+            else:
+                adj[labels[v]] = {labels[w] for w in row}
+            num_edges += len(row)
+        graph = Graph()
+        graph._adj = adj
+        graph._num_edges = num_edges // 2
+        return graph
+
+    def __getstate__(self):
+        """Pickle only the defining arrays; ``rows`` is derived."""
+        return (self.n, self.indptr, self.indices, self.interner)
+
+    def __setstate__(self, state) -> None:
+        n, indptr, indices, interner = state
+        self.__init__(n, indptr, indices, interner)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CSRGraph(n={self.n}, m={self.num_edges})"
@@ -439,30 +509,26 @@ class SubgraphView:
         dict-backend adjacency; KVCC-ENUM calls it once per *returned*
         k-VCC, never per worklist item.
         """
-        base = self.base
-        rows, mask = base.rows, self.mask
-        interner = base.interner
-        labels = interner.labels if interner is not None else None
-        adj: Dict[Vertex, Set[Vertex]] = {}
-        num_edges = 0
-        for v in self.active_list():
-            row = filter(mask.__getitem__, rows[v])
-            if labels is None:
-                nbrs = set(row)
-                adj[v] = nbrs
-            else:
-                nbrs = {labels[w] for w in row}
-                adj[labels[v]] = nbrs
-            num_edges += len(nbrs)
-        graph = Graph()
-        graph._adj = adj
-        graph._num_edges = num_edges // 2
-        return graph
+        return self.base.materialize_members(self.active_list())
+
+    def __reduce__(self):
+        """Pickle as (base, mask bytes); degrees are recomputed on load.
+
+        Pickle memoizes the base, so shipping many views of one base in a
+        single payload serializes the CSR arrays exactly once.
+        """
+        return (_rebuild_view, (self.base, bytes(self.mask)))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SubgraphView(active={self._n_active}, base_n={self.base.n})"
         )
+
+
+def _rebuild_view(base: CSRGraph, mask: bytes) -> SubgraphView:
+    """Unpickle helper for :class:`SubgraphView` (module-level so it is
+    itself picklable by reference)."""
+    return base.view_from_mask(mask)
 
 
 class IntAdjacency:
