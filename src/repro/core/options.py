@@ -64,6 +64,17 @@ class KVCCOptions:
         of ``N`` worker processes; ``0`` sizes the pool to the machine's
         CPU count.  Results and deterministic counters are identical
         across all settings.
+
+    Examples
+    --------
+    >>> KVCCOptions().describe()
+    'NS+GS'
+    >>> KVCCOptions(backend="dict", workers=4).describe()
+    'NS+GS+dict+pool4'
+    >>> KVCCOptions(workers=4).engine
+    'process'
+    >>> KVCCOptions.from_dict(KVCCOptions(seed=7).to_dict()).seed
+    7
     """
 
     use_certificate: bool = True

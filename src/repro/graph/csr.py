@@ -265,6 +265,31 @@ class CSRGraph:
             deg[v] = sum(map(active, rows[v]))
         return SubgraphView(self, mask, deg, len(verts), verts)
 
+    def view_from_members(self, members: Iterable[int]) -> "SubgraphView":
+        """A view whose active set is exactly ``members`` (base ids).
+
+        The level-by-level drivers (hierarchy, k-sweep) re-enter the
+        enumeration inside an already-found component through this
+        constructor: only a fresh mask and degree array are allocated,
+        the adjacency stays shared, so descending a level costs O(n)
+        bookkeeping instead of an induced-subgraph copy.
+        """
+        members = sorted(set(members))
+        if members and not 0 <= members[0] <= members[-1] < self.n:
+            raise ValueError(
+                f"member ids must lie in [0, {self.n}), got range "
+                f"[{members[0]}, {members[-1]}]"
+            )
+        mask = bytearray(self.n)
+        for v in members:
+            mask[v] = 1
+        deg = [0] * self.n
+        rows = self.rows
+        active = mask.__getitem__
+        for v in members:
+            deg[v] = sum(map(active, rows[v]))
+        return SubgraphView(self, mask, deg, len(members), members)
+
     def materialize_members(self, members: Iterable[int]) -> Graph:
         """A labeled :class:`Graph` induced on ``members``, built
         directly from the CSR rows.

@@ -1,0 +1,135 @@
+"""Online query layer over a loaded :class:`HierarchyIndex`.
+
+This is the serving half of decomposition-then-serve: all four queries
+run against precomputed arrays, never against the graph.
+
+* ``vcc_number(v)`` - one array read, O(1);
+* ``components_of(v, k)`` - O(depth) scan of the vertex's (short,
+  hierarchy-height-bounded) component list plus output size;
+* ``same_kvcc(u, v, k)`` / ``max_shared_level(u, v)`` - set
+  intersection of the two component lists, O(depth) - no flow test,
+  no BFS, independent of graph size.
+
+The one O(total membership) cost - inverting component membership into
+per-vertex component lists - is paid once in the constructor, not per
+query.
+
+Examples
+--------
+>>> from repro.graph.generators import overlapping_cliques_graph
+>>> from repro.index.store import build_index
+>>> g = overlapping_cliques_graph(clique_size=5, num_cliques=2, overlap=2)
+>>> service = HierarchyQueryService(build_index(g))
+>>> service.vcc_number(0)
+4
+>>> service.max_shared_level(0, 7)  # distinct cliques, shared 3-VCC hull
+2
+>>> service.same_kvcc(0, 7, 2), service.same_kvcc(0, 7, 4)
+(True, False)
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Set
+
+from repro.index.store import HierarchyIndex
+
+
+class HierarchyQueryService:
+    """Answer k-VCC membership queries from a persisted index.
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.index.store.HierarchyIndex`, typically from
+        :func:`~repro.index.store.load_index` (file) or
+        :func:`~repro.index.store.build_index` (in-process).
+    """
+
+    __slots__ = ("_index", "_vertex_nodes")
+
+    def __init__(self, index: HierarchyIndex) -> None:
+        self._index = index
+        #: Per vertex id, the indices of every component containing it,
+        #: ascending - and therefore ascending in level k, because
+        #: nodes are stored level by level.
+        vertex_nodes: List[List[int]] = [[] for _ in range(index.num_vertices)]
+        for node in range(index.num_nodes):
+            for vid in index.members(node):
+                vertex_nodes[vid].append(node)
+        self._vertex_nodes = vertex_nodes
+
+    @classmethod
+    def from_file(cls, path) -> "HierarchyQueryService":
+        """Load a saved index and wrap it in a query service."""
+        return cls(HierarchyIndex.load(path))
+
+    @property
+    def index(self) -> HierarchyIndex:
+        """The wrapped index (for shape introspection)."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def vcc_number(self, v: Hashable) -> int:
+        """Largest k with ``v`` in some k-VCC; 0 if in none or unknown.
+
+        O(1): one interner lookup plus one array read.
+        """
+        return self._index.vcc_number_of(v)
+
+    def components_of(self, v: Hashable, k: int) -> List[Set[Hashable]]:
+        """All level-``k`` components containing ``v``, as label sets.
+
+        A vertex can lie in several k-VCCs of the same level (they may
+        overlap in up to k-1 vertices), hence a list.  Empty when ``v``
+        is unknown or reaches no level-``k`` component; ``k < 1`` is an
+        error (as in :meth:`same_kvcc`), not an empty answer.
+        """
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        vid = self._index.id_of(v)
+        if vid is None:
+            return []
+        index = self._index
+        node_k = index.node_k
+        return [
+            set(index.member_labels(node))
+            for node in self._vertex_nodes[vid]
+            if node_k[node] == k
+        ]
+
+    def max_shared_level(self, u: Hashable, v: Hashable) -> int:
+        """Largest k such that ``u`` and ``v`` lie in the *same* k-VCC.
+
+        0 when either vertex is unknown or they never share a
+        component; ``vcc_number(u)`` when ``u == v``.  Because every
+        component's members also share all of its ancestors, this is
+        exactly the deepest common component of the two vertices.
+        """
+        iu = self._index.id_of(u)
+        iv = self._index.id_of(v)
+        if iu is None or iv is None:
+            return 0
+        if iu == iv:
+            return self._index.vcc_numbers[iu]
+        shared: Optional[Set[int]] = set(self._vertex_nodes[iu])
+        node_k = self._index.node_k
+        # Lists ascend in k; the first common node from the back is the
+        # deepest shared component.
+        for node in reversed(self._vertex_nodes[iv]):
+            if node in shared:
+                return node_k[node]
+        return 0
+
+    def same_kvcc(self, u: Hashable, v: Hashable, k: int) -> bool:
+        """True iff ``u`` and ``v`` lie in one common k-VCC at level ``k``.
+
+        Equivalent to ``max_shared_level(u, v) >= k``: sharing a deeper
+        component implies sharing its level-``k`` ancestor, and sharing
+        nothing at level ``k`` rules out every deeper level too.
+        """
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        return self.max_shared_level(u, v) >= k

@@ -1,0 +1,422 @@
+"""Array-backed persistent form of the k-VCC hierarchy.
+
+A :class:`~repro.core.hierarchy.KVCCHierarchy` holds one Python set per
+component - fine for construction, wasteful to keep resident or ship to
+disk.  :class:`HierarchyIndex` flattens the forest into a handful of
+integer arrays:
+
+* ``labels`` - the vertex interner, id order (the only non-integer data);
+* ``node_k`` / ``node_parent`` - per component: its level and the index
+  of the level-(k-1) component containing it (-1 for roots).  Nodes are
+  stored level by level, so ``node_k`` is non-decreasing and level
+  lookups are a binary search;
+* ``run_offsets`` / ``runs`` - per-component membership as *sorted id
+  runs*: maximal consecutive id ranges ``(start, length)``.  Dense
+  communities over an interner that assigned ids in discovery order
+  compress to a few runs each;
+* ``vcc_numbers`` - per vertex id, the largest level reached (the
+  precomputed answer to the most common query).
+
+The on-disk format is the same data, little-endian, behind a magic +
+version header (:data:`MAGIC`, :data:`FORMAT_VERSION`); labels travel as
+a JSON array, everything else as packed 32-bit integers.  ``load``
+rejects wrong magic and wrong versions loudly instead of misreading.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Hashable, List, Optional
+
+from repro.core.hierarchy import (
+    HierarchyNode,
+    KVCCHierarchy,
+    build_hierarchy_csr,
+)
+from repro.core.options import KVCCOptions
+from repro.graph.csr import VertexInterner
+from repro.graph.graph import Graph
+
+#: File signature of a persisted hierarchy index.
+MAGIC = b"KVCCIDX"
+#: Current on-disk format version (one unsigned byte after the magic).
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<IIIiI")  # n_vertices, n_nodes, n_run_pairs,
+#                                    max_k, labels_blob_length
+
+
+def _encode_runs(sorted_ids: List[int], out: List[int]) -> int:
+    """Append ``(start, length)`` runs of ``sorted_ids`` to ``out``.
+
+    Returns the number of runs appended.  ``sorted_ids`` must be
+    strictly increasing (component membership always is).
+    """
+    pairs = 0
+    i, n = 0, len(sorted_ids)
+    while i < n:
+        start = sorted_ids[i]
+        j = i + 1
+        while j < n and sorted_ids[j] == sorted_ids[j - 1] + 1:
+            j += 1
+        out.append(start)
+        out.append(j - i)
+        pairs += 1
+        i = j
+    return pairs
+
+
+def _pack_ints(values: List[int]) -> bytes:
+    """Little-endian 32-bit packing of an int list."""
+    return struct.pack(f"<{len(values)}i", *values)
+
+
+def _unpack_ints(buf: bytes, offset: int, count: int) -> List[int]:
+    """Inverse of :func:`_pack_ints`; reads ``count`` ints at ``offset``."""
+    return list(struct.unpack_from(f"<{count}i", buf, offset))
+
+
+class HierarchyIndex:
+    """The k-VCC forest as flat arrays, ready to persist and query.
+
+    Construct via :meth:`from_hierarchy`, :func:`build_index` or
+    :meth:`load`; read with the accessors here or wrap in a
+    :class:`~repro.index.query.HierarchyQueryService` for the online
+    query API.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import complete_graph
+    >>> index = build_index(complete_graph(4))
+    >>> index.num_nodes, index.max_k
+    (3, 3)
+    >>> index.members(index.nodes_at(2)[0])
+    [0, 1, 2, 3]
+    """
+
+    __slots__ = (
+        "labels",
+        "node_k",
+        "node_parent",
+        "run_offsets",
+        "runs",
+        "vcc_numbers",
+        "max_k",
+        "_ids",
+    )
+
+    def __init__(
+        self,
+        labels: List[Hashable],
+        node_k: List[int],
+        node_parent: List[int],
+        run_offsets: List[int],
+        runs: List[int],
+        vcc_numbers: List[int],
+        max_k: int,
+    ) -> None:
+        self.labels = labels
+        self.node_k = node_k
+        self.node_parent = node_parent
+        #: ``runs[2*run_offsets[i] : 2*run_offsets[i+1]]`` are node i's
+        #: ``(start, length)`` pairs, flattened.
+        self.run_offsets = run_offsets
+        self.runs = runs
+        self.vcc_numbers = vcc_numbers
+        self.max_k = max_k
+        self._ids: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Vertices covered by the interner (including vcc-number-0 ones)."""
+        return len(self.labels)
+
+    @property
+    def num_nodes(self) -> int:
+        """Components across all levels of the forest."""
+        return len(self.node_k)
+
+    def __len__(self) -> int:
+        return len(self.node_k)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HierarchyIndex):
+            return NotImplemented
+        return (
+            self.labels == other.labels
+            and self.node_k == other.node_k
+            and self.node_parent == other.node_parent
+            and self.run_offsets == other.run_offsets
+            and self.runs == other.runs
+            and self.vcc_numbers == other.vcc_numbers
+            and self.max_k == other.max_k
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HierarchyIndex(n={self.num_vertices}, "
+            f"nodes={self.num_nodes}, max_k={self.max_k})"
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def id_of(self, label: Hashable) -> Optional[int]:
+        """Dense id of a vertex label, or ``None`` if not indexed."""
+        ids = self._ids
+        if ids is None:
+            ids = {label: i for i, label in enumerate(self.labels)}
+            self._ids = ids
+        return ids.get(label)
+
+    def members(self, node: int) -> List[int]:
+        """Sorted member ids of component ``node`` (runs decoded)."""
+        runs = self.runs
+        out: List[int] = []
+        for pair in range(self.run_offsets[node], self.run_offsets[node + 1]):
+            start, length = runs[2 * pair], runs[2 * pair + 1]
+            out.extend(range(start, start + length))
+        return out
+
+    def member_labels(self, node: int) -> List[Hashable]:
+        """Member labels of component ``node``, in id order."""
+        labels = self.labels
+        return [labels[i] for i in self.members(node)]
+
+    def nodes_at(self, k: int) -> List[int]:
+        """Indices of the level-``k`` components (binary search).
+
+        Nodes are stored level by level, so ``node_k`` is sorted and the
+        level slice is found with two bisections.
+        """
+        from bisect import bisect_left, bisect_right
+
+        lo = bisect_left(self.node_k, k)
+        hi = bisect_right(self.node_k, k)
+        return list(range(lo, hi))
+
+    def vcc_number_of(self, label: Hashable) -> int:
+        """Largest level containing ``label`` (0 when not indexed)."""
+        vid = self.id_of(label)
+        return 0 if vid is None else self.vcc_numbers[vid]
+
+    def to_hierarchy(self) -> KVCCHierarchy:
+        """Reconstruct the set-based :class:`KVCCHierarchy` (for tests
+        and interoperability with the construction-time API)."""
+        hierarchy = KVCCHierarchy(max_k=self.max_k)
+        for node in range(self.num_nodes):
+            parent = self.node_parent[node]
+            hierarchy.nodes.append(
+                HierarchyNode(
+                    k=self.node_k[node],
+                    vertices=set(self.member_labels(node)),
+                    parent=None if parent < 0 else parent,
+                )
+            )
+            if parent >= 0:
+                hierarchy.nodes[parent].children.append(node)
+        return hierarchy
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_hierarchy(
+        cls,
+        hierarchy: KVCCHierarchy,
+        interner: Optional[VertexInterner] = None,
+    ) -> "HierarchyIndex":
+        """Flatten a construction-time forest into index arrays.
+
+        Parameters
+        ----------
+        hierarchy:
+            Output of :func:`~repro.core.hierarchy.build_hierarchy`
+            (either backend).  Nodes must be stored level by level,
+            which both construction paths guarantee.
+        interner:
+            Label-to-id mapping to index under; pass the CSR base's
+            interner so the index covers *all* graph vertices
+            (vcc-number 0 for those in no component).  ``None`` builds
+            one from the hierarchy's own vertices.
+        """
+        if interner is None:
+            interner = VertexInterner()
+            for node in hierarchy.nodes:
+                for label in sorted(node.vertices, key=repr):
+                    interner.intern(label)
+        node_k: List[int] = []
+        node_parent: List[int] = []
+        run_offsets: List[int] = [0]
+        runs: List[int] = []
+        vcc_numbers = [0] * len(interner)
+        previous_k = 0
+        for node in hierarchy.nodes:
+            if node.k < previous_k:
+                raise ValueError(
+                    "hierarchy nodes are not stored level by level"
+                )
+            previous_k = node.k
+            members = sorted(interner[label] for label in node.vertices)
+            node_k.append(node.k)
+            node_parent.append(-1 if node.parent is None else node.parent)
+            _encode_runs(members, runs)
+            run_offsets.append(len(runs) // 2)
+            for vid in members:
+                if vcc_numbers[vid] < node.k:
+                    vcc_numbers[vid] = node.k
+        return cls(
+            labels=list(interner.labels),
+            node_k=node_k,
+            node_parent=node_parent,
+            run_offsets=run_offsets,
+            runs=runs,
+            vcc_numbers=vcc_numbers,
+            max_k=hierarchy.max_k,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the versioned binary index file at ``path``.
+
+        Labels must be JSON *scalars* (ints and strings - the types
+        edge-list IO produces - plus floats, bools and None).  Anything
+        else raises ``TypeError`` up front: a tuple label, say, would
+        silently come back from JSON as an unhashable list.
+        """
+        for label in self.labels:
+            if label is not None and not isinstance(
+                label, (str, int, float, bool)
+            ):
+                raise TypeError(
+                    f"cannot persist vertex label {label!r} of type "
+                    f"{type(label).__name__}; the index file stores "
+                    f"labels as JSON scalars (str/int/float/bool/None)"
+                )
+        labels_blob = json.dumps(self.labels, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(bytes([FORMAT_VERSION]))
+            handle.write(
+                _HEADER.pack(
+                    len(self.labels),
+                    len(self.node_k),
+                    len(self.runs) // 2,
+                    self.max_k,
+                    len(labels_blob),
+                )
+            )
+            handle.write(labels_blob)
+            handle.write(_pack_ints(self.node_k))
+            handle.write(_pack_ints(self.node_parent))
+            handle.write(_pack_ints(self.run_offsets))
+            handle.write(_pack_ints(self.runs))
+            handle.write(_pack_ints(self.vcc_numbers))
+
+    @classmethod
+    def load(cls, path) -> "HierarchyIndex":
+        """Read an index written by :meth:`save`.
+
+        Raises
+        ------
+        ValueError
+            If the file is not a hierarchy index (wrong magic), was
+            written by an unsupported format version, or is truncated.
+        """
+        with open(path, "rb") as handle:
+            return cls._read(handle, path)
+
+    @classmethod
+    def _read(cls, handle: BinaryIO, path) -> "HierarchyIndex":
+        """Parse the binary format from an open file handle."""
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(
+                f"{path}: not a k-VCC hierarchy index file "
+                f"(bad magic {magic!r}, expected {MAGIC!r})"
+            )
+        version_byte = handle.read(1)
+        if len(version_byte) != 1:
+            raise ValueError(f"{path}: truncated index header")
+        version = version_byte[0]
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported index format version {version} "
+                f"(this build reads version {FORMAT_VERSION}); rebuild "
+                f"the index with 'repro hierarchy --save-index'"
+            )
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise ValueError(f"{path}: truncated index header")
+        n_vertices, n_nodes, n_run_pairs, max_k, labels_len = _HEADER.unpack(
+            header
+        )
+        body = handle.read()
+        expected = labels_len + 4 * (
+            n_nodes + n_nodes + (n_nodes + 1) + 2 * n_run_pairs + n_vertices
+        )
+        if len(body) != expected:
+            raise ValueError(
+                f"{path}: truncated index body "
+                f"({len(body)} bytes, expected {expected})"
+            )
+        labels = json.loads(body[:labels_len].decode("utf-8"))
+        offset = labels_len
+        node_k = _unpack_ints(body, offset, n_nodes)
+        offset += 4 * n_nodes
+        node_parent = _unpack_ints(body, offset, n_nodes)
+        offset += 4 * n_nodes
+        run_offsets = _unpack_ints(body, offset, n_nodes + 1)
+        offset += 4 * (n_nodes + 1)
+        runs = _unpack_ints(body, offset, 2 * n_run_pairs)
+        offset += 4 * 2 * n_run_pairs
+        vcc_numbers = _unpack_ints(body, offset, n_vertices)
+        return cls(
+            labels=labels,
+            node_k=node_k,
+            node_parent=node_parent,
+            run_offsets=run_offsets,
+            runs=runs,
+            vcc_numbers=vcc_numbers,
+            max_k=max_k,
+        )
+
+
+def build_index(
+    graph: Graph,
+    max_k: Optional[int] = None,
+    options: Optional[KVCCOptions] = None,
+) -> HierarchyIndex:
+    """Graph in, persistent-ready index out.
+
+    Interns the graph once into a CSR base, builds the full hierarchy
+    on it (:func:`~repro.core.hierarchy.build_hierarchy_csr`, honoring
+    ``options.workers``), and flattens the forest under the base's
+    interner so every graph vertex - including vcc-number-0 ones - is
+    covered.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import ring_of_cliques
+    >>> index = build_index(ring_of_cliques(3, 5))
+    >>> index.max_k
+    4
+    >>> index.vcc_number_of(0)
+    4
+    """
+    base = graph.to_csr()
+    hierarchy = build_hierarchy_csr(base, max_k=max_k, options=options)
+    return HierarchyIndex.from_hierarchy(hierarchy, base.interner)
+
+
+def load_index(path) -> HierarchyIndex:
+    """Convenience alias for :meth:`HierarchyIndex.load`."""
+    return HierarchyIndex.load(path)

@@ -92,6 +92,86 @@ class TestHierarchyCommand:
         ) == 0
         assert "vcc-number(0)" in capsys.readouterr().out
 
+    def test_dict_backend_same_levels(self, graph_file, capsys):
+        assert main(
+            ["hierarchy", graph_file, "--max-k", "4", "--backend", "dict"]
+        ) == 0
+        assert "k=4: 4 component(s)" in capsys.readouterr().out
+
+    def test_save_index(self, graph_file, tmp_path, capsys):
+        index_file = tmp_path / "g.kvccidx"
+        assert main(
+            ["hierarchy", graph_file, "--save-index", str(index_file)]
+        ) == 0
+        assert f"wrote {index_file}" in capsys.readouterr().out
+        from repro.index import load_index
+
+        index = load_index(index_file)
+        assert index.num_vertices == 21
+        assert index.max_k == 5
+
+
+class TestQueryCommand:
+    @pytest.fixture
+    def index_file(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "g.kvccidx"
+        assert main(["hierarchy", graph_file, "--save-index", str(path)]) == 0
+        capsys.readouterr()  # swallow the hierarchy printout
+        return str(path)
+
+    def test_vcc_number(self, index_file, capsys):
+        assert main(["query", "vcc-number", index_file, "-v", "0"]) == 0
+        assert "vcc-number(0) = 5" in capsys.readouterr().out
+
+    def test_vcc_number_unknown_vertex(self, index_file, capsys):
+        assert main(["query", "vcc-number", index_file, "-v", "999"]) == 0
+        assert "vcc-number(999) = 0" in capsys.readouterr().out
+
+    def test_components_of(self, index_file, capsys):
+        assert main(
+            ["query", "components-of", index_file, "-v", "0", "-k", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4-VCC(s) contain 0" in out
+        assert "6 vertices" in out
+
+    def test_same_kvcc(self, index_file, capsys):
+        assert main(
+            ["query", "same-kvcc", index_file, "-u", "0", "-v", "1",
+             "-k", "4"]
+        ) == 0
+        assert "= True" in capsys.readouterr().out
+
+    def test_max_shared_level(self, index_file, capsys):
+        assert main(
+            ["query", "max-shared-level", index_file, "-u", "0", "-v", "20"]
+        ) == 0
+        assert "max-shared-level(0, 20) = 1" in capsys.readouterr().out
+
+    def test_invalid_k_clean_error(self, index_file, capsys):
+        assert main(
+            ["query", "same-kvcc", index_file, "-u", "0", "-v", "1",
+             "-k", "0"]
+        ) == 2
+        assert "at least 1" in capsys.readouterr().err
+        assert main(
+            ["query", "components-of", index_file, "-v", "0", "-k", "0"]
+        ) == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_not_an_index_file(self, graph_file, capsys):
+        assert main(["query", "vcc-number", graph_file, "-v", "0"]) == 2
+        assert "not a k-VCC hierarchy index" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "missing.kvccidx")
+        assert main(["query", "vcc-number", missing, "-v", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_subcommand(self, index_file):
+        with pytest.raises(SystemExit):
+            main(["query"])
+
 
 class TestParser:
     def test_requires_command(self):

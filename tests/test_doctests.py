@@ -1,19 +1,54 @@
-"""Run the doctests embedded in public docstrings."""
+"""Run the doctests embedded in public docstrings.
+
+The parametrization spans the package root, the graph substrate, the
+public enumeration/hierarchy API, and the whole :mod:`repro.index`
+package (collected automatically so new index modules cannot silently
+skip doctest coverage).
+"""
 
 import doctest
+import importlib
+import pkgutil
 
 import pytest
 
 import repro
+import repro.core.hierarchy
+import repro.core.ksweep
+import repro.core.kvcc
+import repro.core.options
+import repro.graph.csr
 import repro.graph.graph
 import repro.graph.io
+import repro.index
+
+MODULES = [
+    repro,
+    repro.graph.graph,
+    repro.graph.io,
+    repro.graph.csr,
+    repro.core.kvcc,
+    repro.core.options,
+    repro.core.ksweep,
+    repro.core.hierarchy,
+    repro.index,
+]
+# Every module of the index package, present and future.
+MODULES += [
+    importlib.import_module(info.name)
+    for info in pkgutil.walk_packages(
+        repro.index.__path__, prefix="repro.index."
+    )
+]
 
 
-@pytest.mark.parametrize(
-    "module",
-    [repro, repro.graph.graph, repro.graph.io],
-    ids=lambda m: m.__name__,
-)
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
 def test_module_doctests(module):
     failures, _ = doctest.testmod(module, verbose=False)
     assert failures == 0
+
+
+def test_index_package_is_collected():
+    """The walk actually found the index submodules."""
+    names = {m.__name__ for m in MODULES}
+    assert {"repro.index.store", "repro.index.query"} <= names

@@ -200,6 +200,89 @@ def test_vccs_containing_parallel():
     assert _ordered_families(serial) == _ordered_families(parallel)
 
 
+class TestRunMany:
+    """Multi-root draining: the level-at-a-time API of the hierarchy."""
+
+    def test_grouped_results_match_individual_runs(self):
+        graph = ring_of_cliques(num_cliques=3, clique_size=6)
+        base = graph.to_csr()
+        parts = [list(range(0, 12)), list(range(12, 18))]
+        options = KVCCOptions()
+        grouped = SerialEngine().run_many(
+            [base.view_from_members(p) for p in parts],
+            3,
+            options,
+            RunStats(k=3),
+        )
+        for part, group in zip(parts, grouped):
+            solo = SerialEngine().run(
+                base.view_from_members(part), 3, options, RunStats(k=3)
+            )
+            assert _ordered_families(group) == _ordered_families(solo)
+
+    def test_serial_and_pool_grouping_identical(self):
+        graph = ring_of_cliques(num_cliques=3, clique_size=6)
+        base = graph.to_csr()
+        parts = [list(range(0, 12)), list(range(12, 18)), [0, 1]]
+        options = KVCCOptions()
+        make = lambda: [base.view_from_members(p) for p in parts]
+        serial = SerialEngine().run_many(
+            make(), 3, options, RunStats(k=3)
+        )
+        pooled = ProcessPoolEngine(workers=2).run_many(
+            make(), 3, options, RunStats(k=3)
+        )
+        assert len(serial) == len(pooled) == len(parts)
+        for s_group, p_group in zip(serial, pooled):
+            assert _ordered_families(s_group) == _ordered_families(p_group)
+        assert serial[2] == []  # too small to host a 3-VCC
+
+    def test_materialize_false_returns_sorted_ids(self):
+        graph = ring_of_cliques(num_cliques=3, clique_size=5)
+        base = graph.to_csr()
+        options = KVCCOptions()
+        for engine in (SerialEngine(), ProcessPoolEngine(workers=2)):
+            groups = engine.run_many(
+                [base.full_view()], 4, options, RunStats(k=4),
+                materialize=False,
+            )
+            assert len(groups) == 1
+            for members in groups[0]:
+                assert members == sorted(members)
+                assert all(isinstance(v, int) for v in members)
+
+    def test_empty_works_list(self):
+        options = KVCCOptions()
+        assert SerialEngine().run_many([], 3, options, RunStats()) == []
+        assert ProcessPoolEngine(workers=2).run_many(
+            [], 3, options, RunStats()
+        ) == []
+
+    def test_pool_rejects_mixed_backends(self):
+        graph = ring_of_cliques(num_cliques=2, clique_size=5)
+        base = graph.to_csr()
+        options = KVCCOptions()
+        for works in (
+            [graph.copy(), base.full_view()],
+            [base.full_view(), graph.copy()],
+        ):
+            with pytest.raises(ValueError, match="mix"):
+                ProcessPoolEngine(workers=2).run_many(
+                    works, 3, options, RunStats()
+                )
+
+    def test_pool_rejects_foreign_bases(self):
+        graph = ring_of_cliques(num_cliques=2, clique_size=5)
+        options = KVCCOptions()
+        with pytest.raises(ValueError, match="share"):
+            ProcessPoolEngine(workers=2).run_many(
+                [graph.to_csr().full_view(), graph.to_csr().full_view()],
+                3,
+                options,
+                RunStats(),
+            )
+
+
 class TestCSRPickle:
     """The wire formats the pool relies on (and general pickling)."""
 

@@ -3,8 +3,10 @@
 import networkx as nx
 import pytest
 
-from repro.core.hierarchy import build_hierarchy, vcc_number
+from repro.core.hierarchy import build_hierarchy, build_hierarchy_csr, vcc_number
 from repro.core.kvcc import kvcc_vertex_sets
+from repro.core.options import KVCCOptions
+from repro.core.stats import RunStats
 from repro.graph.core_decomposition import core_number
 from repro.graph.generators import (
     complete_graph,
@@ -16,6 +18,27 @@ from repro.graph.generators import (
 from repro.graph.graph import Graph
 
 from helpers import vertex_set_family
+
+
+def hierarchy_shape(hierarchy):
+    """Order-insensitive comparison form: per-level component families
+    plus, per component, its parent's vertex set (or None for roots)."""
+    shape = {}
+    for k in range(1, hierarchy.max_k + 1):
+        level = []
+        for node in hierarchy.nodes:
+            if node.k != k:
+                continue
+            parent = (
+                ()
+                if node.parent is None
+                else tuple(
+                    sorted(hierarchy.nodes[node.parent].vertices, key=repr)
+                )
+            )
+            level.append((tuple(sorted(node.vertices, key=repr)), parent))
+        shape[k] = sorted(level)
+    return shape
 
 
 class TestBuildHierarchy:
@@ -84,6 +107,92 @@ class TestBuildHierarchy:
         assert len(level3) == 2
         shared = set.intersection(*level3)
         assert len(shared) == 2
+
+
+class TestHierarchyBackendParity:
+    """The CSR+engine construction equals the dict reference path."""
+
+    def test_random_graphs(self):
+        for seed in range(8):
+            g = gnp_random_graph(13, 0.4, seed=seed * 3)
+            h_csr = build_hierarchy(g)
+            h_dict = build_hierarchy(g, options=KVCCOptions(backend="dict"))
+            assert h_csr.max_k == h_dict.max_k, seed
+            assert hierarchy_shape(h_csr) == hierarchy_shape(h_dict), seed
+            assert h_csr.vcc_number_map() == h_dict.vcc_number_map(), seed
+
+    def test_overlapping_components(self):
+        g = overlapping_cliques_graph(
+            clique_size=6, num_cliques=3, overlap=3
+        )
+        h_csr = build_hierarchy(g)
+        h_dict = build_hierarchy(g, options=KVCCOptions(backend="dict"))
+        assert hierarchy_shape(h_csr) == hierarchy_shape(h_dict)
+
+    def test_parallel_engine_identical_nodes(self):
+        """workers=2 produces byte-identical node order, not just the
+        same families (the engine re-sorts leaves by recursion path)."""
+        g = ring_of_cliques(3, 5)
+        serial = build_hierarchy(g)
+        pooled = build_hierarchy(g, options=KVCCOptions(workers=2))
+        assert [
+            (n.k, sorted(n.vertices), n.parent, n.children)
+            for n in serial.nodes
+        ] == [
+            (n.k, sorted(n.vertices), n.parent, n.children)
+            for n in pooled.nodes
+        ]
+
+    def test_csr_entry_point_on_base(self):
+        """build_hierarchy_csr on a prebuilt base matches the wrapper."""
+        g = ring_of_cliques(3, 4)
+        stats = RunStats()
+        direct = build_hierarchy_csr(g.to_csr(), stats=stats)
+        wrapped = build_hierarchy(g)
+        assert hierarchy_shape(direct) == hierarchy_shape(wrapped)
+        assert stats.kvccs_found == len(direct)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            build_hierarchy(
+                complete_graph(4), options=KVCCOptions(backend="numpy")
+            )
+
+
+class TestHierarchyEdgeCases:
+    def test_k1_disconnected_graph(self):
+        """k=1 roots are the non-trivial connected components; isolated
+        vertices join no component but keep vcc-number 0."""
+        g = Graph(
+            [(0, 1), (2, 3), (3, 4), (4, 2), (5, 6), (6, 7)],
+            vertices=[99],
+        )
+        for options in (None, KVCCOptions(backend="dict")):
+            h = build_hierarchy(g, options=options)
+            roots = h.roots()
+            assert len(roots) == 3
+            assert vertex_set_family(
+                h.nodes[i].vertices for i in roots
+            ) == vertex_set_family([{0, 1}, {2, 3, 4}, {5, 6, 7}])
+            numbers = vcc_number(g, options=options)
+            assert numbers[99] == 0
+            assert numbers[2] == 2
+
+    def test_max_k_beyond_exhaustion(self):
+        """Requesting levels above the graph's max is not an error; the
+        forest simply stops where the components run out."""
+        g = cycle_graph(6)  # max level 2
+        for options in (None, KVCCOptions(backend="dict")):
+            h = build_hierarchy(g, max_k=10, options=options)
+            assert h.max_k == 2
+            assert h.components_at(3) == []
+            assert h.components_at(10) == []
+
+    def test_single_vertex_and_single_edge(self):
+        assert len(build_hierarchy(Graph(vertices=[7]))) == 0
+        h = build_hierarchy(Graph([(0, 1)]))
+        assert h.max_k == 1
+        assert h.components_at(1) == [{0, 1}]
 
 
 class TestVccNumber:

@@ -1,0 +1,304 @@
+"""Tests for the persistent hierarchy index and the query service."""
+
+import struct
+
+import pytest
+
+from repro.core.hierarchy import build_hierarchy, vcc_number
+from repro.core.kvcc import kvcc_vertex_sets
+from repro.core.options import KVCCOptions
+from repro.graph.csr import VertexInterner
+from repro.graph.generators import (
+    complete_graph,
+    gnp_random_graph,
+    overlapping_cliques_graph,
+    ring_of_cliques,
+)
+from repro.graph.graph import Graph
+from repro.index import (
+    FORMAT_VERSION,
+    HierarchyIndex,
+    HierarchyQueryService,
+    build_index,
+    load_index,
+)
+from repro.index.store import MAGIC
+
+from helpers import vertex_set_family
+
+
+class TestBuildIndex:
+    def test_shape_matches_hierarchy(self):
+        g = ring_of_cliques(3, 5)
+        index = build_index(g)
+        hierarchy = build_hierarchy(g)
+        assert index.num_nodes == len(hierarchy)
+        assert index.max_k == hierarchy.max_k
+        assert index.num_vertices == g.num_vertices
+
+    def test_members_match_components(self):
+        for seed in range(5):
+            g = gnp_random_graph(14, 0.4, seed=seed * 11)
+            index = build_index(g)
+            hierarchy = build_hierarchy(g)
+            for k in range(1, index.max_k + 1):
+                got = [set(index.member_labels(n)) for n in index.nodes_at(k)]
+                assert vertex_set_family(got) == vertex_set_family(
+                    hierarchy.components_at(k)
+                ), (seed, k)
+
+    def test_vcc_numbers_match(self):
+        g = gnp_random_graph(15, 0.35, seed=3)
+        index = build_index(g)
+        numbers = vcc_number(g)
+        for v in g.vertices():
+            assert index.vcc_number_of(v) == numbers[v]
+
+    def test_covers_isolated_vertices(self):
+        g = Graph([(0, 1), (1, 2), (0, 2)], vertices=[9])
+        index = build_index(g)
+        assert index.num_vertices == 4
+        assert index.vcc_number_of(9) == 0
+
+    def test_unknown_label_is_zero(self):
+        index = build_index(complete_graph(4))
+        assert index.vcc_number_of("nope") == 0
+        assert index.id_of("nope") is None
+
+    def test_parent_pointers_nest(self):
+        g = ring_of_cliques(3, 5)
+        index = build_index(g)
+        for node in range(index.num_nodes):
+            parent = index.node_parent[node]
+            if parent < 0:
+                assert index.node_k[node] == 1
+            else:
+                assert index.node_k[parent] == index.node_k[node] - 1
+                child = set(index.members(node))
+                assert child <= set(index.members(parent))
+
+    def test_max_k_cap(self):
+        index = build_index(complete_graph(6), max_k=2)
+        assert index.max_k == 2
+        assert index.nodes_at(3) == []
+
+    def test_from_hierarchy_dict_backend(self):
+        """The dict-built forest flattens to the same index."""
+        g = ring_of_cliques(3, 4)
+        interner = VertexInterner(g.vertices())
+        h_dict = build_hierarchy(g, options=KVCCOptions(backend="dict"))
+        idx_dict = HierarchyIndex.from_hierarchy(h_dict, interner)
+        idx_csr = build_index(g)
+        assert idx_dict.vcc_numbers == idx_csr.vcc_numbers
+        for k in range(1, idx_csr.max_k + 1):
+            assert vertex_set_family(
+                set(idx_dict.member_labels(n)) for n in idx_dict.nodes_at(k)
+            ) == vertex_set_family(
+                set(idx_csr.member_labels(n)) for n in idx_csr.nodes_at(k)
+            )
+
+    def test_to_hierarchy_round_trip(self):
+        g = ring_of_cliques(3, 5)
+        hierarchy = build_hierarchy(g)
+        index = HierarchyIndex.from_hierarchy(
+            hierarchy, VertexInterner(g.vertices())
+        )
+        back = index.to_hierarchy()
+        assert back.max_k == hierarchy.max_k
+        assert [
+            (n.k, sorted(n.vertices, key=str), n.parent, n.children)
+            for n in back.nodes
+        ] == [
+            (n.k, sorted(n.vertices, key=str), n.parent, n.children)
+            for n in hierarchy.nodes
+        ]
+
+    def test_unsorted_hierarchy_rejected(self):
+        from repro.core.hierarchy import HierarchyNode, KVCCHierarchy
+
+        bad = KVCCHierarchy(
+            nodes=[
+                HierarchyNode(k=2, vertices={0, 1, 2}),
+                HierarchyNode(k=1, vertices={0, 1, 2}),
+            ],
+            max_k=2,
+        )
+        with pytest.raises(ValueError, match="level by level"):
+            HierarchyIndex.from_hierarchy(bad)
+
+
+class TestSaveLoad:
+    def test_round_trip_equality(self, tmp_path):
+        for seed in range(4):
+            g = gnp_random_graph(13, 0.4, seed=seed * 7 + 1)
+            index = build_index(g)
+            path = tmp_path / f"g{seed}.kvccidx"
+            index.save(path)
+            assert load_index(path) == index
+
+    def test_round_trip_answers_all_queries(self, tmp_path):
+        g = overlapping_cliques_graph(
+            clique_size=5, num_cliques=2, overlap=2
+        )
+        path = tmp_path / "g.kvccidx"
+        build_index(g).save(path)
+        service = HierarchyQueryService.from_file(path)
+        fresh = HierarchyQueryService(build_index(g))
+        verts = list(g.vertices())
+        for u in verts:
+            assert service.vcc_number(u) == fresh.vcc_number(u)
+            for v in verts:
+                assert service.max_shared_level(u, v) == (
+                    fresh.max_shared_level(u, v)
+                )
+                for k in range(1, 6):
+                    assert service.same_kvcc(u, v, k) == fresh.same_kvcc(
+                        u, v, k
+                    )
+                    assert service.components_of(u, k) == fresh.components_of(
+                        u, k
+                    )
+
+    def test_tuple_labels_rejected(self, tmp_path):
+        """Non-scalar labels fail loudly at save time - JSON would turn
+        a tuple into an unhashable list and break every later query."""
+        g = Graph([((0, "a"), (1, "b")), ((1, "b"), (2, "c")),
+                   ((2, "c"), (0, "a"))])
+        index = build_index(g)
+        with pytest.raises(TypeError, match="tuple"):
+            index.save(tmp_path / "g.kvccidx")
+
+    def test_string_labels_round_trip(self, tmp_path):
+        g = Graph([("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+        index = build_index(g)
+        path = tmp_path / "g.kvccidx"
+        index.save(path)
+        loaded = load_index(path)
+        assert loaded == index
+        assert HierarchyQueryService(loaded).vcc_number("a") == 2
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        index = build_index(Graph())
+        path = tmp_path / "empty.kvccidx"
+        index.save(path)
+        loaded = load_index(path)
+        assert loaded.num_nodes == 0
+        assert loaded.max_k == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not_an_index"
+        path.write_bytes(b"hello world, definitely not an index")
+        with pytest.raises(ValueError, match="bad magic"):
+            load_index(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        """A future-version file fails loudly, naming both versions."""
+        g = complete_graph(4)
+        path = tmp_path / "g.kvccidx"
+        build_index(g).save(path)
+        blob = bytearray(path.read_bytes())
+        assert blob[len(MAGIC)] == FORMAT_VERSION
+        blob[len(MAGIC)] = FORMAT_VERSION + 1
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError) as excinfo:
+            load_index(path)
+        message = str(excinfo.value)
+        assert f"version {FORMAT_VERSION + 1}" in message
+        assert f"version {FORMAT_VERSION}" in message
+        assert "rebuild" in message
+
+    def test_truncated_body_rejected(self, tmp_path):
+        path = tmp_path / "g.kvccidx"
+        build_index(complete_graph(4)).save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 5])
+        with pytest.raises(ValueError, match="truncated"):
+            load_index(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "g.kvccidx"
+        path.write_bytes(MAGIC + bytes([FORMAT_VERSION]) + b"\x01\x02")
+        with pytest.raises(ValueError, match="truncated"):
+            load_index(path)
+
+    def test_header_is_little_endian_and_versioned(self, tmp_path):
+        path = tmp_path / "g.kvccidx"
+        index = build_index(complete_graph(4))
+        index.save(path)
+        blob = path.read_bytes()
+        assert blob.startswith(MAGIC)
+        assert blob[len(MAGIC)] == FORMAT_VERSION
+        n_vertices = struct.unpack_from("<I", blob, len(MAGIC) + 1)[0]
+        assert n_vertices == 4
+
+
+class TestQueryService:
+    def test_vcc_number_matches_recompute(self):
+        g = gnp_random_graph(15, 0.4, seed=19)
+        service = HierarchyQueryService(build_index(g))
+        numbers = vcc_number(g)
+        for v in g.vertices():
+            assert service.vcc_number(v) == numbers[v]
+        assert service.vcc_number("missing") == 0
+
+    def test_components_of_matches_flat_enumeration(self):
+        for seed in range(4):
+            g = gnp_random_graph(13, 0.45, seed=seed * 13 + 2)
+            service = HierarchyQueryService(build_index(g))
+            for k in range(1, service.index.max_k + 2):
+                flat = kvcc_vertex_sets(g, k)
+                for v in g.vertices():
+                    expected = vertex_set_family(
+                        c for c in flat if v in c
+                    )
+                    assert vertex_set_family(
+                        service.components_of(v, k)
+                    ) == expected, (seed, k, v)
+
+    def test_same_kvcc_matches_flat_enumeration(self):
+        g = overlapping_cliques_graph(
+            clique_size=5, num_cliques=3, overlap=2
+        )
+        service = HierarchyQueryService(build_index(g))
+        verts = list(g.vertices())
+        for k in range(1, service.index.max_k + 2):
+            flat = kvcc_vertex_sets(g, k)
+            for u in verts:
+                for v in verts:
+                    expected = any(u in c and v in c for c in flat)
+                    assert service.same_kvcc(u, v, k) == expected, (k, u, v)
+
+    def test_max_shared_level_is_threshold(self):
+        g = ring_of_cliques(4, 5)
+        service = HierarchyQueryService(build_index(g))
+        verts = list(g.vertices())
+        for u in verts[:8]:
+            for v in verts[:8]:
+                level = service.max_shared_level(u, v)
+                if level:
+                    assert service.same_kvcc(u, v, level)
+                    assert not service.same_kvcc(u, v, level + 1)
+                else:
+                    assert not service.same_kvcc(u, v, 1)
+
+    def test_same_vertex_shares_its_vcc_number(self):
+        g = ring_of_cliques(3, 5)
+        service = HierarchyQueryService(build_index(g))
+        for v in g.vertices():
+            assert service.max_shared_level(v, v) == service.vcc_number(v)
+
+    def test_unknown_vertices(self):
+        service = HierarchyQueryService(build_index(complete_graph(4)))
+        assert service.components_of("x", 2) == []
+        assert service.max_shared_level("x", 0) == 0
+        assert not service.same_kvcc("x", "y", 1)
+
+    def test_same_kvcc_invalid_k(self):
+        service = HierarchyQueryService(build_index(complete_graph(4)))
+        with pytest.raises(ValueError, match="at least 1"):
+            service.same_kvcc(0, 1, 0)
+
+    def test_components_of_invalid_k(self):
+        service = HierarchyQueryService(build_index(complete_graph(4)))
+        with pytest.raises(ValueError, match="at least 1"):
+            service.components_of(0, 0)
