@@ -31,6 +31,7 @@ are not gated).  Measured numbers are recorded in CHANGES.md.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import time
 
@@ -135,11 +136,26 @@ def main() -> int:
         "--workers", type=int, default=4, metavar="N",
         help="pool size for the serial-vs-parallel column (default 4)",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default="",
+        help="also write the measured metrics as machine-readable JSON",
+    )
     args = parser.parse_args()
 
     graph = _mid_size_graph(args.quick)
     k = args.k if args.k is not None else 5
     repeats = 1 if args.quick else 3
+
+    metrics = {}
+
+    def record(name: str, value: float, unit: str, n: int) -> None:
+        metrics[f"backend.{name}"] = {
+            "metric": name,
+            "value": round(value, 6),
+            "unit": unit,
+            "n": n,
+            "k": k,
+        }
 
     print(
         f"graph: web_graph n={graph.num_vertices} "
@@ -155,6 +171,9 @@ def main() -> int:
         f"peel (k={peel_k}):      dict {t_dict * 1e3:8.1f} ms   "
         f"csr {t_csr * 1e3:8.1f} ms   speedup {t_dict / t_csr:5.2f}x"
     )
+    record("peel_dict_ms", t_dict * 1e3, "ms", graph.num_vertices)
+    record("peel_csr_ms", t_csr * 1e3, "ms", graph.num_vertices)
+    record("peel_speedup", t_dict / t_csr, "x", graph.num_vertices)
 
     t_dict, t_csr = bench_enumerate(graph, k, repeats)
     speedup = t_dict / t_csr
@@ -162,6 +181,9 @@ def main() -> int:
         f"enumerate (k={k}):    dict {t_dict * 1e3:8.1f} ms   "
         f"csr {t_csr * 1e3:8.1f} ms   speedup {speedup:5.2f}x"
     )
+    record("enumerate_dict_ms", t_dict * 1e3, "ms", graph.num_vertices)
+    record("enumerate_csr_ms", t_csr * 1e3, "ms", graph.num_vertices)
+    record("enumerate_speedup", speedup, "x", graph.num_vertices)
 
     # Serial-vs-parallel column (same CSR backend, engine differs).
     workers = args.workers
@@ -172,6 +194,7 @@ def main() -> int:
         f"engine (k={k}, web): serial {t_ser * 1e3:8.1f} ms   "
         f"pool{workers} {t_par * 1e3:8.1f} ms   speedup {par_speedup:5.2f}x"
     )
+    record("engine_web_speedup", par_speedup, "x", graph.num_vertices)
     if par_speedup < 1.5:
         print(
             "  note: the web stand-in is one component whose first "
@@ -187,6 +210,8 @@ def main() -> int:
         f"m={sharded.num_edges}): serial {t_ser2 * 1e3:8.1f} ms   "
         f"pool{workers} {t_par2 * 1e3:8.1f} ms   speedup {shard_speedup:5.2f}x"
     )
+    record("engine_sharded_speedup", shard_speedup, "x",
+           sharded.num_vertices)
     if cpus < 2:
         print(
             f"  note: this machine exposes {cpus} CPU - a process pool "
@@ -203,6 +228,11 @@ def main() -> int:
             f"enumerate ring60x12 (k=6): dict {t_dict2 * 1e3:8.1f} ms   "
             f"csr {t_csr2 * 1e3:8.1f} ms   speedup {t_dict2 / t_csr2:5.2f}x"
         )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+        print(f"wrote {len(metrics)} metric(s) to {args.json}")
 
     if not args.quick and speedup < 1.5:
         print("WARNING: CSR speedup below the 1.5x acceptance bar")

@@ -18,24 +18,37 @@ Run directly (plain script, no pytest-benchmark dependency)::
 
     PYTHONPATH=src python benchmarks/bench_query_throughput.py
     PYTHONPATH=src python benchmarks/bench_query_throughput.py --smoke
+    PYTHONPATH=src python benchmarks/bench_query_throughput.py \\
+        --smoke --json query_metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import time
 
 from repro.core.kvcc import kvcc_vertex_sets
 from repro.graph.generators import web_graph
-from repro.index import HierarchyIndex, HierarchyQueryService, build_index
+from repro.index import HierarchyQueryService, build_index
 
 
-def bench(smoke: bool) -> None:
+def bench(smoke: bool, json_path: str = "") -> None:
     """Run the cold-vs-indexed comparison and print the report."""
     n = 600 if smoke else 2400
     graph = web_graph(n, seed=7)
     k = 5
+    metrics = {}
+
+    def record(name: str, value: float, unit: str) -> None:
+        metrics[f"query.{name}"] = {
+            "metric": name,
+            "value": round(value, 6),
+            "unit": unit,
+            "n": n,
+            "k": k,
+        }
     print(f"web graph stand-in: n={graph.num_vertices} "
           f"m={graph.num_edges}, level k={k}")
 
@@ -81,11 +94,17 @@ def bench(smoke: bool) -> None:
     print(f"  indexed: {warm_per_query * 1e6:10.3f} us/query "
           f"({1 / warm_per_query:12.1f} q/s)  [{n_warm} queries]")
     print(f"  speedup: {speedup:.0f}x")
+    record("build_ms", t_build * 1e3, "ms")
+    record("cold_same_kvcc_ms_per_query", cold_per_query * 1e3, "ms")
+    record("indexed_same_kvcc_qps", 1 / warm_per_query, "q/s")
+    record("indexed_vs_cold_speedup", speedup, "x")
 
-    for name, fn in (
-        ("vcc_number(v)", lambda p: service.vcc_number(p[0])),
-        ("components_of(v, k)", lambda p: service.components_of(p[0], k)),
-        ("max_shared_level(u, v)",
+    for name, metric, fn in (
+        ("vcc_number(v)", "indexed_vcc_number_qps",
+         lambda p: service.vcc_number(p[0])),
+        ("components_of(v, k)", "indexed_components_of_qps",
+         lambda p: service.components_of(p[0], k)),
+        ("max_shared_level(u, v)", "indexed_max_shared_level_qps",
          lambda p: service.max_shared_level(p[0], p[1])),
     ):
         start = time.perf_counter()
@@ -94,6 +113,7 @@ def bench(smoke: bool) -> None:
         per_query = (time.perf_counter() - start) / n_warm
         print(f"{name:24s} indexed: {per_query * 1e6:8.3f} us/query "
               f"({1 / per_query:12.1f} q/s)")
+        record(metric, 1 / per_query, "q/s")
 
     assert speedup >= 100, (
         f"acceptance bar: indexed same_kvcc must beat cold recomputation "
@@ -101,6 +121,11 @@ def bench(smoke: bool) -> None:
     )
     print(f"\nOK: indexed same_kvcc beats recomputation by "
           f"{speedup:.0f}x (bar: 100x)")
+
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+        print(f"wrote {len(metrics)} metric(s) to {json_path}")
 
 
 def main() -> None:
@@ -110,8 +135,12 @@ def main() -> None:
         "--smoke", action="store_true",
         help="small fixture + few cold queries (CI mode)",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default="",
+        help="also write the measured metrics as machine-readable JSON",
+    )
     args = parser.parse_args()
-    bench(args.smoke)
+    bench(args.smoke, args.json)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,93 @@
+"""Collect every machine-readable benchmark into one ``BENCH_ci.json``.
+
+The CI ``bench-trend`` job runs this script; it executes each bench
+that supports ``--json`` as a subprocess (so an assertion failure in
+one bench fails the job loudly instead of silently dropping metrics),
+then merges their outputs into a single flat mapping::
+
+    { "<bench>.<metric>": {"metric", "value", "unit", "n", "k"}, ... }
+
+uploaded as a per-commit artifact.  Downloading the artifact across a
+range of commits gives the repo a perf *trend* - the numbers used to
+live only in scrolled-past job logs.
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/collect_bench_trend.py \\
+        --smoke --out BENCH_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+#: (bench script, extra args in smoke mode, extra args in full mode).
+BENCHES = [
+    ("bench_query_throughput.py", ["--smoke"], []),
+    ("bench_backend_compare.py", ["--quick"], []),
+    ("bench_serve_throughput.py", ["--smoke"], []),
+]
+
+
+def run_bench(
+    script: str, mode_args: list, json_path: str, bench_dir: str
+) -> dict:
+    """Execute one bench with ``--json`` and return its metrics dict."""
+    command = [
+        sys.executable,
+        os.path.join(bench_dir, script),
+        *mode_args,
+        "--json",
+        json_path,
+    ]
+    print(f"$ {' '.join(command)}", flush=True)
+    subprocess.run(command, check=True)
+    with open(json_path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main() -> int:
+    """Run every JSON-capable bench and merge the results."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run each bench in its small CI mode",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default="BENCH_ci.json",
+        help="merged output file (default: BENCH_ci.json)",
+    )
+    args = parser.parse_args()
+
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    merged = {}
+    with tempfile.TemporaryDirectory() as workdir:
+        for script, smoke_args, full_args in BENCHES:
+            json_path = os.path.join(workdir, script + ".json")
+            metrics = run_bench(
+                script,
+                smoke_args if args.smoke else full_args,
+                json_path,
+                bench_dir,
+            )
+            overlap = merged.keys() & metrics.keys()
+            if overlap:
+                raise SystemExit(
+                    f"{script}: metric name collision: {sorted(overlap)}"
+                )
+            merged.update(metrics)
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+    print(f"wrote {len(merged)} metric(s) from {len(BENCHES)} bench(es) "
+          f"to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,10 @@ Commands
 ``query``
     Answer vcc-number / components-of / same-kvcc / max-shared-level
     queries from a saved index file in O(1), without recomputation.
+``serve``
+    Long-lived HTTP JSON service over one or more saved index files:
+    mmap-backed lazy loads, LRU residency, mtime hot reload, batch
+    endpoints (see :mod:`repro.service`).
 ``experiments``
     Run the paper's experiment harness (``--quick`` for a fast pass).
 
@@ -34,6 +38,7 @@ Examples
     python -m repro query components-of graph.kvccidx -v 3 -k 4
     python -m repro query same-kvcc graph.kvccidx -u 3 -v 17 -k 4
     python -m repro query max-shared-level graph.kvccidx -u 3 -v 17
+    python -m repro serve web=graph.kvccidx --port 8716
     python -m repro experiments --quick
 """
 
@@ -200,6 +205,59 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dataset_spec(token: str):
+    """argparse type for serve datasets: ``name=path`` or a bare path.
+
+    A bare path serves under the file's stem, so
+    ``repro serve graphs/web.kvccidx`` exposes ``/v1/web/...``.
+    """
+    import os
+
+    name, sep, path = token.partition("=")
+    if not sep:
+        name, path = os.path.splitext(os.path.basename(token))[0], token
+    if not name or not path:
+        raise argparse.ArgumentTypeError(
+            f"dataset spec must be 'name=path' or a path, got {token!r}"
+        )
+    return name, path
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP index-serving front end until interrupted."""
+    from repro.service import IndexRegistry, create_server
+
+    registry = IndexRegistry(capacity=args.capacity, mmap=not args.eager)
+    for name, path in args.datasets:
+        try:
+            registry.register(name, path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.preload:
+            try:
+                registry.get(name)
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot load {name!r}: {exc}", file=sys.stderr)
+                return 2
+    server = create_server(
+        registry, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    names = ", ".join(name for name, _ in args.datasets)
+    print(f"serving {len(args.datasets)} dataset(s) [{names}] "
+          f"on http://{host}:{port} "
+          f"({'eager' if args.eager else 'mmap'} loads, "
+          f"capacity {args.capacity}); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     """Run the paper's experiment harness."""
     from repro.experiments.harness import run_all
@@ -326,6 +384,42 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("-v", required=True, help="second vertex label")
 
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "serve", help="HTTP JSON service over saved hierarchy indexes",
+        epilog="examples: repro serve web=web.kvccidx --port 8716; then "
+        "curl 'http://127.0.0.1:8716/v1/web/vcc-number?v=42' or batch with "
+        "repeated params: '...?v=1&v=2&v=3'",
+    )
+    p.add_argument(
+        "datasets", nargs="+", type=_dataset_spec, metavar="NAME=PATH",
+        help="one or more index files from 'hierarchy --save-index'; a "
+        "bare path serves under the file's stem",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8716,
+        help="TCP port (default 8716; 0 = ephemeral)",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=8, metavar="N",
+        help="max indexes resident at once (LRU evicts beyond this)",
+    )
+    p.add_argument(
+        "--eager", action="store_true",
+        help="parse index files fully at load instead of mmap-backed "
+        "zero-copy views (mmap is the default and the fast path)",
+    )
+    p.add_argument(
+        "--preload", action="store_true",
+        help="load every dataset up front instead of on first query, "
+        "failing fast on unreadable files",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="log every request to stderr",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("experiments", help="run the paper's experiments")
     p.add_argument("--quick", action="store_true")

@@ -10,14 +10,20 @@ no graph traversal, no re-enumeration per query.
   a :class:`~repro.core.hierarchy.KVCCHierarchy` (interner labels,
   per-level component membership as sorted id runs, parent pointers,
   per-vertex vcc-numbers) with a versioned binary ``save``/``load``;
+  ``load(path, mmap=True)`` maps the sections zero-copy so a cold
+  process is query-ready in O(header);
 * :func:`~repro.index.store.build_index` - graph in, index out (CSR
   hierarchy construction plus packing);
 * :class:`~repro.index.query.HierarchyQueryService` - the online
   answer layer: ``vcc_number``, ``components_of``, ``same_kvcc``,
-  ``max_shared_level``.
+  ``max_shared_level``, plus batch forms (``vcc_numbers``,
+  ``same_kvcc_many``, ``max_shared_levels``) that amortize per-call
+  overhead for high-traffic callers.
 
 CLI: ``repro hierarchy graph.txt --save-index graph.kvccidx`` writes
-the file, ``repro query <subcommand> graph.kvccidx ...`` reads it.
+the file, ``repro query <subcommand> graph.kvccidx ...`` reads it, and
+``repro serve`` (:mod:`repro.service`) keeps a multi-dataset HTTP
+process resident over it.
 
 Examples
 --------

@@ -11,8 +11,15 @@ run against precomputed arrays, never against the graph.
   no BFS, independent of graph size.
 
 The one O(total membership) cost - inverting component membership into
-per-vertex component lists - is paid once in the constructor, not per
-query.
+per-vertex component lists - is paid lazily on the first query that
+needs it, never at construction: wrapping an mmap-loaded index stays
+O(1), so a cold serving process is ready before its first request.
+
+For high-traffic callers the batch entry points (``vcc_numbers``,
+``same_kvcc_many``, ``max_shared_levels``) answer many queries per
+Python call, hoisting the attribute lookups and method dispatch out of
+the loop - the scalar methods spend most of their time on call
+overhead, not on the array reads.
 
 Examples
 --------
@@ -26,11 +33,15 @@ Examples
 2
 >>> service.same_kvcc(0, 7, 2), service.same_kvcc(0, 7, 4)
 (True, False)
+>>> service.vcc_numbers([0, 7, "missing"])
+[4, 4, 0]
+>>> service.same_kvcc_many([(0, 7), (0, 1)], 3)
+[False, True]
 """
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Set
+from typing import Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.index.store import HierarchyIndex
 
@@ -50,27 +61,37 @@ class HierarchyQueryService:
 
     def __init__(self, index: HierarchyIndex) -> None:
         self._index = index
-        #: Per vertex id, the indices of every component containing it,
-        #: ascending - and therefore ascending in level k, because
-        #: nodes are stored level by level.
-        vertex_nodes: List[List[int]] = [[] for _ in range(index.num_vertices)]
-        for node in range(index.num_nodes):
-            for vid in index.members(node):
-                vertex_nodes[vid].append(node)
-        self._vertex_nodes = vertex_nodes
+        self._vertex_nodes: Optional[List[List[int]]] = None
 
     @classmethod
-    def from_file(cls, path) -> "HierarchyQueryService":
+    def from_file(cls, path, mmap: bool = False) -> "HierarchyQueryService":
         """Load a saved index and wrap it in a query service."""
-        return cls(HierarchyIndex.load(path))
+        return cls(HierarchyIndex.load(path, mmap=mmap))
 
     @property
     def index(self) -> HierarchyIndex:
         """The wrapped index (for shape introspection)."""
         return self._index
 
+    def _vertex_node_lists(self) -> List[List[int]]:
+        """Per vertex id, the indices of every component containing it,
+        ascending - and therefore ascending in level k, because nodes
+        are stored level by level.  Built once, on first need: only the
+        pair/level queries require it, so a service that just answers
+        ``vcc_number`` never pays the O(total membership) inversion.
+        """
+        vertex_nodes = self._vertex_nodes
+        if vertex_nodes is None:
+            index = self._index
+            vertex_nodes = [[] for _ in range(index.num_vertices)]
+            for node in range(index.num_nodes):
+                for vid in index.members(node):
+                    vertex_nodes[vid].append(node)
+            self._vertex_nodes = vertex_nodes
+        return vertex_nodes
+
     # ------------------------------------------------------------------
-    # Queries
+    # Scalar queries
     # ------------------------------------------------------------------
     def vcc_number(self, v: Hashable) -> int:
         """Largest k with ``v`` in some k-VCC; 0 if in none or unknown.
@@ -96,7 +117,7 @@ class HierarchyQueryService:
         node_k = index.node_k
         return [
             set(index.member_labels(node))
-            for node in self._vertex_nodes[vid]
+            for node in self._vertex_node_lists()[vid]
             if node_k[node] == k
         ]
 
@@ -114,11 +135,12 @@ class HierarchyQueryService:
             return 0
         if iu == iv:
             return self._index.vcc_numbers[iu]
-        shared: Optional[Set[int]] = set(self._vertex_nodes[iu])
+        vertex_nodes = self._vertex_node_lists()
+        shared: Set[int] = set(vertex_nodes[iu])
         node_k = self._index.node_k
         # Lists ascend in k; the first common node from the back is the
         # deepest shared component.
-        for node in reversed(self._vertex_nodes[iv]):
+        for node in reversed(vertex_nodes[iv]):
             if node in shared:
                 return node_k[node]
         return 0
@@ -133,3 +155,79 @@ class HierarchyQueryService:
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         return self.max_shared_level(u, v) >= k
+
+    # ------------------------------------------------------------------
+    # Batch queries
+    # ------------------------------------------------------------------
+    def vcc_numbers(self, vertices: Iterable[Hashable]) -> List[int]:
+        """Batch :meth:`vcc_number`: one answer per input vertex.
+
+        Answers are identical to the scalar loop, but the interner dict
+        and the number array are bound once for the whole batch; the
+        all-known fast path is a single list comprehension per call.
+        Unknown vertices answer 0, exactly as the scalar method does.
+        """
+        if not isinstance(vertices, (list, tuple)):
+            # The fast path may abort partway and restart; materialize
+            # one-shot iterators so the retry sees the full input.
+            vertices = list(vertices)
+        get = self._index._id_map().get
+        numbers = self._index.vcc_numbers
+        try:
+            return [numbers[i] for i in map(get, vertices)]
+        except TypeError:
+            # Some vertex is unindexed (``get`` returned None); redo
+            # the batch on the guarded path.  Reads are side-effect
+            # free, so restarting is safe.
+            return [
+                0 if (i := get(v)) is None else numbers[i] for v in vertices
+            ]
+
+    def max_shared_levels(
+        self, pairs: Sequence[Tuple[Hashable, Hashable]]
+    ) -> List[int]:
+        """Batch :meth:`max_shared_level`: one answer per ``(u, v)``.
+
+        Semantics match the scalar method pair for pair; the interner
+        dict, level array and inverted membership are bound once for
+        the whole batch, and each intersection probes the shorter of
+        the two component lists.
+        """
+        get = self._index._id_map().get
+        numbers = self._index.vcc_numbers
+        node_k = self._index.node_k
+        vertex_nodes = self._vertex_node_lists()
+        out: List[int] = []
+        append = out.append
+        for u, v in pairs:
+            iu = get(u)
+            iv = get(v)
+            if iu is None or iv is None:
+                append(0)
+                continue
+            if iu == iv:
+                append(numbers[iu])
+                continue
+            nodes_u = vertex_nodes[iu]
+            nodes_v = vertex_nodes[iv]
+            if len(nodes_u) > len(nodes_v):
+                nodes_u, nodes_v = nodes_v, nodes_u
+            shared = set(nodes_u)
+            level = 0
+            for node in reversed(nodes_v):
+                if node in shared:
+                    level = node_k[node]
+                    break
+            append(level)
+        return out
+
+    def same_kvcc_many(
+        self, pairs: Sequence[Tuple[Hashable, Hashable]], k: int
+    ) -> List[bool]:
+        """Batch :meth:`same_kvcc` at one level ``k``: one bool per pair.
+
+        ``k < 1`` raises exactly as the scalar method does.
+        """
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        return [level >= k for level in self.max_shared_levels(pairs)]

@@ -21,13 +21,25 @@ The on-disk format is the same data, little-endian, behind a magic +
 version header (:data:`MAGIC`, :data:`FORMAT_VERSION`); labels travel as
 a JSON array, everything else as packed 32-bit integers.  ``load``
 rejects wrong magic and wrong versions loudly instead of misreading.
+
+Two load paths share that format:
+
+* **eager** (``load(path)``) - read the whole file, unpack every array
+  into Python lists.  O(index) before the first query;
+* **mmap** (``load(path, mmap=True)``) - map the file and expose the
+  integer sections as zero-copy ``memoryview`` casts over the mapping;
+  the JSON label blob is decoded lazily on first label access.  A cold
+  process pays O(header) before its first query, and resident cost is
+  page-cache pages shared across processes serving the same file.
 """
 
 from __future__ import annotations
 
 import json
+import mmap as _mmap
 import struct
-from typing import BinaryIO, Hashable, List, Optional
+import sys
+from typing import BinaryIO, Hashable, List, Optional, Sequence
 
 from repro.core.hierarchy import (
     HierarchyNode,
@@ -45,6 +57,13 @@ FORMAT_VERSION = 1
 
 _HEADER = struct.Struct("<IIIiI")  # n_vertices, n_nodes, n_run_pairs,
 #                                    max_k, labels_blob_length
+
+#: Whether this interpreter can view the little-endian int32 sections
+#: in place.  ``memoryview.cast`` only speaks native layouts, so the
+#: mmap fast path needs a little-endian platform with 4-byte ints
+#: (every CPython platform this repo targets); anywhere else ``load``
+#: silently falls back to the eager parse.
+_MMAP_ZERO_COPY = sys.byteorder == "little" and struct.calcsize("i") == 4
 
 
 def _encode_runs(sorted_ids: List[int], out: List[int]) -> int:
@@ -77,6 +96,31 @@ def _unpack_ints(buf: bytes, offset: int, count: int) -> List[int]:
     return list(struct.unpack_from(f"<{count}i", buf, offset))
 
 
+def _as_list(values: Sequence[int]) -> List[int]:
+    """Normalize an int section (list or memoryview) for comparison."""
+    return values if isinstance(values, list) else list(values)
+
+
+def _check_run_offsets(
+    run_offsets: Sequence[int], n_run_pairs: int, path
+) -> None:
+    """O(1) cross-check of the run table against the header.
+
+    A structurally complete file can still carry nonsense (bit rot, a
+    foreign file that happens to match the length equation); the run
+    table's endpoints are the cheapest invariant that catches it before
+    queries start indexing out of range.
+    """
+    if len(run_offsets) and (
+        run_offsets[0] != 0 or run_offsets[-1] != n_run_pairs
+    ):
+        raise ValueError(
+            f"{path}: corrupt index (run table endpoints "
+            f"[{run_offsets[0]}, {run_offsets[-1]}] do not match the "
+            f"declared {n_run_pairs} run pair(s))"
+        )
+
+
 class HierarchyIndex:
     """The k-VCC forest as flat arrays, ready to persist and query.
 
@@ -96,7 +140,9 @@ class HierarchyIndex:
     """
 
     __slots__ = (
-        "labels",
+        "_labels",
+        "_labels_blob",
+        "_n_vertices",
         "node_k",
         "node_parent",
         "run_offsets",
@@ -104,19 +150,22 @@ class HierarchyIndex:
         "vcc_numbers",
         "max_k",
         "_ids",
+        "_mmap",
     )
 
     def __init__(
         self,
         labels: List[Hashable],
-        node_k: List[int],
-        node_parent: List[int],
-        run_offsets: List[int],
-        runs: List[int],
-        vcc_numbers: List[int],
+        node_k: Sequence[int],
+        node_parent: Sequence[int],
+        run_offsets: Sequence[int],
+        runs: Sequence[int],
+        vcc_numbers: Sequence[int],
         max_k: int,
     ) -> None:
-        self.labels = labels
+        self._labels: Optional[List[Hashable]] = labels
+        self._labels_blob = None
+        self._n_vertices = len(labels)
         self.node_k = node_k
         self.node_parent = node_parent
         #: ``runs[2*run_offsets[i] : 2*run_offsets[i+1]]`` are node i's
@@ -126,14 +175,36 @@ class HierarchyIndex:
         self.vcc_numbers = vcc_numbers
         self.max_k = max_k
         self._ids: Optional[dict] = None
+        self._mmap = None
 
     # ------------------------------------------------------------------
     # Shape
     # ------------------------------------------------------------------
     @property
+    def labels(self) -> List[Hashable]:
+        """Vertex labels in id order.
+
+        Eager loads hold the decoded list from the start; mmap loads
+        keep the raw JSON blob mapped and decode it here, once, on the
+        first label-facing access (``id_of``, ``member_labels``, ...).
+        """
+        if self._labels is None:
+            self._labels = json.loads(bytes(self._labels_blob).decode("utf-8"))
+            self._labels_blob = None
+        return self._labels
+
+    @property
     def num_vertices(self) -> int:
-        """Vertices covered by the interner (including vcc-number-0 ones)."""
-        return len(self.labels)
+        """Vertices covered by the interner (including vcc-number-0 ones).
+
+        Comes from the header, so it never forces a lazy label decode.
+        """
+        return self._n_vertices
+
+    @property
+    def is_mmap(self) -> bool:
+        """True while the array sections view a live file mapping."""
+        return self._mmap is not None
 
     @property
     def num_nodes(self) -> int:
@@ -148,11 +219,11 @@ class HierarchyIndex:
             return NotImplemented
         return (
             self.labels == other.labels
-            and self.node_k == other.node_k
-            and self.node_parent == other.node_parent
-            and self.run_offsets == other.run_offsets
-            and self.runs == other.runs
-            and self.vcc_numbers == other.vcc_numbers
+            and _as_list(self.node_k) == _as_list(other.node_k)
+            and _as_list(self.node_parent) == _as_list(other.node_parent)
+            and _as_list(self.run_offsets) == _as_list(other.run_offsets)
+            and _as_list(self.runs) == _as_list(other.runs)
+            and _as_list(self.vcc_numbers) == _as_list(other.vcc_numbers)
             and self.max_k == other.max_k
         )
 
@@ -165,13 +236,17 @@ class HierarchyIndex:
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
-    def id_of(self, label: Hashable) -> Optional[int]:
-        """Dense id of a vertex label, or ``None`` if not indexed."""
+    def _id_map(self) -> dict:
+        """The label-to-id dict, built once on first use."""
         ids = self._ids
         if ids is None:
             ids = {label: i for i, label in enumerate(self.labels)}
             self._ids = ids
-        return ids.get(label)
+        return ids
+
+    def id_of(self, label: Hashable) -> Optional[int]:
+        """Dense id of a vertex label, or ``None`` if not indexed."""
+        return self._id_map().get(label)
 
     def members(self, node: int) -> List[int]:
         """Sorted member ids of component ``node`` (runs decoded)."""
@@ -322,8 +397,23 @@ class HierarchyIndex:
             handle.write(_pack_ints(self.vcc_numbers))
 
     @classmethod
-    def load(cls, path) -> "HierarchyIndex":
+    def load(cls, path, mmap: bool = False) -> "HierarchyIndex":
         """Read an index written by :meth:`save`.
+
+        Parameters
+        ----------
+        path:
+            The index file.
+        mmap:
+            ``False`` (default) parses the whole file into Python lists
+            up front.  ``True`` maps the file instead: the int32
+            sections become zero-copy ``memoryview`` casts over the
+            mapping and the label blob decodes lazily, so the load
+            itself costs O(header) no matter how large the index is.
+            On platforms where the in-place view is impossible (big
+            endian, exotic int size) this silently falls back to the
+            eager parse; the structural validation is identical either
+            way.
 
         Raises
         ------
@@ -331,6 +421,8 @@ class HierarchyIndex:
             If the file is not a hierarchy index (wrong magic), was
             written by an unsupported format version, or is truncated.
         """
+        if mmap and _MMAP_ZERO_COPY:
+            return cls._load_mmap(path)
         with open(path, "rb") as handle:
             return cls._read(handle, path)
 
@@ -379,6 +471,7 @@ class HierarchyIndex:
         runs = _unpack_ints(body, offset, 2 * n_run_pairs)
         offset += 4 * 2 * n_run_pairs
         vcc_numbers = _unpack_ints(body, offset, n_vertices)
+        _check_run_offsets(run_offsets, n_run_pairs, path)
         return cls(
             labels=labels,
             node_k=node_k,
@@ -388,6 +481,119 @@ class HierarchyIndex:
             vcc_numbers=vcc_numbers,
             max_k=max_k,
         )
+
+    @classmethod
+    def _load_mmap(cls, path) -> "HierarchyIndex":
+        """Map ``path`` and wire the sections up as zero-copy views.
+
+        Performs exactly the structural validation :meth:`_read` does
+        (magic, version, header completeness, body length) against the
+        mapping, without touching - and therefore without faulting in -
+        the array pages themselves.
+        """
+        with open(path, "rb") as handle:
+            try:
+                mapped = _mmap.mmap(
+                    handle.fileno(), 0, access=_mmap.ACCESS_READ
+                )
+            except ValueError:
+                # Zero-length files cannot be mapped; same failure mode
+                # as an empty read in the eager path.
+                raise ValueError(f"{path}: truncated index header") from None
+        try:
+            prefix = len(MAGIC)
+            if mapped[:prefix] != MAGIC:
+                raise ValueError(
+                    f"{path}: not a k-VCC hierarchy index file "
+                    f"(bad magic {mapped[:prefix]!r}, expected {MAGIC!r})"
+                )
+            if len(mapped) < prefix + 1:
+                raise ValueError(f"{path}: truncated index header")
+            version = mapped[prefix]
+            if version != FORMAT_VERSION:
+                raise ValueError(
+                    f"{path}: unsupported index format version {version} "
+                    f"(this build reads version {FORMAT_VERSION}); rebuild "
+                    f"the index with 'repro hierarchy --save-index'"
+                )
+            body_start = prefix + 1 + _HEADER.size
+            if len(mapped) < body_start:
+                raise ValueError(f"{path}: truncated index header")
+            n_vertices, n_nodes, n_run_pairs, max_k, labels_len = (
+                _HEADER.unpack_from(mapped, prefix + 1)
+            )
+            expected = labels_len + 4 * (
+                n_nodes + n_nodes + (n_nodes + 1) + 2 * n_run_pairs + n_vertices
+            )
+            body_len = len(mapped) - body_start
+            if body_len != expected:
+                raise ValueError(
+                    f"{path}: truncated index body "
+                    f"({body_len} bytes, expected {expected})"
+                )
+            # Validate the run-table endpoints straight off the mapping,
+            # *before* exporting any memoryview: once views exist, the
+            # error path could no longer close the mapping.
+            offsets_at = body_start + labels_len + 8 * n_nodes
+            endpoints = (
+                struct.unpack_from("<i", mapped, offsets_at)[0],
+                struct.unpack_from("<i", mapped, offsets_at + 4 * n_nodes)[0],
+            )
+            _check_run_offsets(endpoints, n_run_pairs, path)
+        except ValueError:
+            mapped.close()
+            raise
+        view = memoryview(mapped)
+        offset = body_start
+        labels_blob = view[offset : offset + labels_len]
+        offset += labels_len
+        sections = []
+        for count in (n_nodes, n_nodes, n_nodes + 1, 2 * n_run_pairs,
+                      n_vertices):
+            sections.append(view[offset : offset + 4 * count].cast("i"))
+            offset += 4 * count
+        node_k, node_parent, run_offsets, runs, vcc_numbers = sections
+        index = cls.__new__(cls)
+        index._labels = None
+        index._labels_blob = labels_blob
+        index._n_vertices = n_vertices
+        index.node_k = node_k
+        index.node_parent = node_parent
+        index.run_offsets = run_offsets
+        index.runs = runs
+        index.vcc_numbers = vcc_numbers
+        index.max_k = max_k
+        index._ids = None
+        index._mmap = mapped
+        return index
+
+    def close(self) -> None:
+        """Detach from the file mapping (no-op for eager loads).
+
+        Every mmap-backed section is materialized into a plain list and
+        the mapping is closed, so the index stays fully usable but no
+        longer pins the file.  If another thread still holds one of the
+        old section views, closing is deferred to reference counting
+        (the mapping is freed the moment the last view dies) instead of
+        raising ``BufferError`` into the caller.
+        """
+        if self._mmap is None:
+            return
+        self.labels  # decode before the blob's buffer goes away
+        self._labels_blob = None
+        self.node_k = list(self.node_k)
+        self.node_parent = list(self.node_parent)
+        self.run_offsets = list(self.run_offsets)
+        self.runs = list(self.runs)
+        self.vcc_numbers = list(self.vcc_numbers)
+        mapped, self._mmap = self._mmap, None
+        try:
+            mapped.close()
+        except BufferError:
+            # A concurrent reader still exports a view of the mapping;
+            # dropping our reference lets refcounting close it when the
+            # last view is released.
+            pass
 
 
 def build_index(
@@ -417,6 +623,6 @@ def build_index(
     return HierarchyIndex.from_hierarchy(hierarchy, base.interner)
 
 
-def load_index(path) -> HierarchyIndex:
+def load_index(path, mmap: bool = False) -> HierarchyIndex:
     """Convenience alias for :meth:`HierarchyIndex.load`."""
-    return HierarchyIndex.load(path)
+    return HierarchyIndex.load(path, mmap=mmap)

@@ -1,0 +1,49 @@
+"""Long-lived, multi-dataset serving layer over persisted indexes.
+
+Where :mod:`repro.index` answers queries for one loaded index in one
+process, this package turns that into a *service*: many named datasets,
+mmap-backed cold starts measured in microseconds, LRU-bounded residency
+with hot reload, and a dependency-free HTTP front end.
+
+* :class:`~repro.service.registry.IndexRegistry` - name -> index file,
+  lazy mmap open, LRU of resident indexes, mtime-based hot reload,
+  explicit evict;
+* :mod:`repro.service.handlers` - the transport-agnostic API routing
+  (``/healthz``, ``/datasets``, ``/v1/<dataset>/<query>``);
+* :func:`~repro.service.server.create_server` - the stdlib
+  ``ThreadingHTTPServer`` JSON front end, started by ``repro serve``.
+
+Examples
+--------
+>>> import tempfile, os
+>>> from repro.graph.generators import ring_of_cliques
+>>> from repro.index import build_index
+>>> from repro.service import IndexRegistry
+>>> from repro.service.handlers import handle_request
+>>> path = os.path.join(tempfile.mkdtemp(), "ring.kvccidx")
+>>> build_index(ring_of_cliques(3, 5)).save(path)
+>>> registry = IndexRegistry()
+>>> registry.register("ring", path)
+>>> handle_request(registry, "/v1/ring/vcc-number", {"v": ["0"]})
+(200, {'v': '0', 'vcc_number': 4})
+"""
+
+from repro.service.handlers import ApiError, handle_request
+from repro.service.registry import DatasetNotFound, IndexRegistry
+from repro.service.server import (
+    DEFAULT_PORT,
+    ServiceRequestHandler,
+    ServiceServer,
+    create_server,
+)
+
+__all__ = [
+    "ApiError",
+    "DatasetNotFound",
+    "DEFAULT_PORT",
+    "IndexRegistry",
+    "ServiceRequestHandler",
+    "ServiceServer",
+    "create_server",
+    "handle_request",
+]

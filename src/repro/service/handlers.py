@@ -1,0 +1,205 @@
+"""Route serving-API requests to registry queries (transport-agnostic).
+
+The HTTP layer in :mod:`repro.service.server` is a thin shell around
+:func:`handle_request`, which speaks only paths + query parameters and
+returns ``(status, payload)``.  Keeping the routing pure makes every
+endpoint unit-testable without sockets and keeps the actual HTTP
+handler to a dozen lines.
+
+Endpoints (all ``GET``; every response is a JSON object):
+
+========================================  =====================================
+``/healthz``                              liveness + registry counters
+``/datasets``                             registered datasets and residency
+``/v1/<ds>/vcc-number?v=...``             largest k containing ``v``
+``/v1/<ds>/same-kvcc?u=..&v=..&k=..``     do ``u``,``v`` share a k-VCC?
+``/v1/<ds>/components-of?v=..&k=..``      the level-k components of ``v``
+``/v1/<ds>/max-shared-level?u=..&v=..``   deepest level shared by ``u``,``v``
+========================================  =====================================
+
+Batching: ``vcc-number`` accepts ``v`` repeated (one answer per value,
+in order, via the vectorized :meth:`~repro.index.query.
+HierarchyQueryService.vcc_numbers`); ``same-kvcc`` and
+``max-shared-level`` accept repeated ``pair=u:v`` parameters instead of
+``u``/``v`` (the first ``:`` splits, so ``u`` must be colon-free).
+
+Vertex labels arrive as strings; tokens that parse as integers are
+looked up as integers first with a string fallback, matching the CLI's
+behavior on edge-list-loaded graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Hashable, List, Tuple
+
+from repro.index.query import HierarchyQueryService
+from repro.service.registry import DatasetNotFound, IndexRegistry
+
+#: Query-parameter multimap, as ``urllib.parse.parse_qs`` produces.
+Params = Dict[str, List[str]]
+
+
+class ApiError(Exception):
+    """A client-visible request failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _parse_vertex(token: str) -> Hashable:
+    """Integer label when the token is an int literal, else the string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _one(params: Params, key: str) -> str:
+    """The single required value of ``key``; 400 if absent or repeated."""
+    values = params.get(key, [])
+    if len(values) != 1:
+        raise ApiError(
+            400,
+            f"parameter '{key}' must be given exactly once "
+            f"(got {len(values)})",
+        )
+    return values[0]
+
+
+def _k_param(params: Params) -> int:
+    """The required integer ``k`` parameter; 400 on absence or junk."""
+    token = _one(params, "k")
+    try:
+        k = int(token)
+    except ValueError:
+        raise ApiError(400, f"parameter 'k' must be an integer, got "
+                       f"{token!r}") from None
+    if k < 1:
+        raise ApiError(400, f"k must be at least 1, got {k}")
+    return k
+
+
+def _pairs_param(params: Params) -> List[Tuple[Hashable, Hashable]]:
+    """Decode repeated ``pair=u:v`` parameters; 400 on malformed pairs."""
+    out = []
+    for token in params.get("pair", []):
+        u, sep, v = token.partition(":")
+        if not sep or not u or not v:
+            raise ApiError(
+                400, f"parameter 'pair' must look like 'u:v', got {token!r}"
+            )
+        out.append((_parse_vertex(u), _parse_vertex(v)))
+    return out
+
+
+def _sorted_labels(component) -> List:
+    """Deterministic JSON ordering for a component's label set."""
+    return sorted(component, key=str)
+
+
+def _vcc_number(service: HierarchyQueryService, params: Params) -> dict:
+    """``vcc-number``: scalar for one ``v``, batch for repeated ``v``."""
+    values = params.get("v", [])
+    if not values:
+        raise ApiError(400, "parameter 'v' is required")
+    labels = [_parse_vertex(token) for token in values]
+    numbers = service.vcc_numbers(labels)
+    if len(labels) == 1:
+        return {"v": values[0], "vcc_number": numbers[0]}
+    return {"v": values, "vcc_numbers": numbers}
+
+
+def _same_kvcc(service: HierarchyQueryService, params: Params) -> dict:
+    """``same-kvcc``: one ``u``/``v`` pair or repeated ``pair=u:v``."""
+    k = _k_param(params)
+    if "pair" in params:
+        pairs = _pairs_param(params)
+        return {"k": k, "results": service.same_kvcc_many(pairs, k)}
+    u = _parse_vertex(_one(params, "u"))
+    v = _parse_vertex(_one(params, "v"))
+    return {"k": k, "same_kvcc": service.same_kvcc(u, v, k)}
+
+
+def _components_of(service: HierarchyQueryService, params: Params) -> dict:
+    """``components-of``: the level-k components containing ``v``."""
+    k = _k_param(params)
+    v = _parse_vertex(_one(params, "v"))
+    components = service.components_of(v, k)
+    return {
+        "v": _one(params, "v"),
+        "k": k,
+        "count": len(components),
+        "components": [_sorted_labels(c) for c in components],
+    }
+
+
+def _max_shared_level(service: HierarchyQueryService, params: Params) -> dict:
+    """``max-shared-level``: one pair or repeated ``pair=u:v``."""
+    if "pair" in params:
+        pairs = _pairs_param(params)
+        return {"results": service.max_shared_levels(pairs)}
+    u = _parse_vertex(_one(params, "u"))
+    v = _parse_vertex(_one(params, "v"))
+    return {"max_shared_level": service.max_shared_level(u, v)}
+
+
+#: Endpoint name -> implementation, the ``/v1/<dataset>/<endpoint>`` leg.
+QUERY_ENDPOINTS = {
+    "vcc-number": _vcc_number,
+    "same-kvcc": _same_kvcc,
+    "components-of": _components_of,
+    "max-shared-level": _max_shared_level,
+}
+
+
+def handle_request(
+    registry: IndexRegistry, path: str, params: Params
+) -> Tuple[int, dict]:
+    """Execute one API request; returns ``(http_status, json_payload)``.
+
+    Never raises for client-shaped failures - unknown routes and bad
+    parameters come back as ``(4xx, {"error": ...})``; an unreadable
+    index file maps to 503 so load balancers treat it as transient.
+    """
+    try:
+        if path == "/healthz":
+            return 200, {"status": "ok", **registry.stats()}
+        if path == "/datasets":
+            return 200, {"datasets": registry.datasets()}
+        parts = path.strip("/").split("/")
+        if len(parts) == 3 and parts[0] == "v1":
+            _, dataset, endpoint = parts
+            endpoint_fn = QUERY_ENDPOINTS.get(endpoint)
+            if endpoint_fn is None:
+                raise ApiError(
+                    404,
+                    f"unknown endpoint {endpoint!r}; expected one of "
+                    f"{sorted(QUERY_ENDPOINTS)}",
+                )
+            try:
+                service = registry.get(dataset)
+            except DatasetNotFound:
+                raise ApiError(
+                    404, f"unknown dataset {dataset!r}; see /datasets"
+                ) from None
+            except (OSError, ValueError) as exc:
+                # Missing file or a corrupt/truncated index: a server
+                # problem (503), not a client one - the blanket
+                # ValueError->400 below is only for query parameters.
+                raise ApiError(
+                    503, f"dataset {dataset!r} unavailable: {exc}"
+                ) from None
+            return 200, endpoint_fn(service, params)
+        raise ApiError(404, f"no route for {path!r}")
+    except ApiError as exc:
+        return exc.status, {"error": exc.message}
+    except ValueError as exc:
+        return 400, {"error": str(exc)}
+
+
+def render_json(payload: dict) -> bytes:
+    """Canonical wire encoding for a response payload."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,251 @@
+"""Multi-dataset registry of resident hierarchy indexes.
+
+A serving process rarely fronts one graph: the registry owns the map
+from dataset *name* to index *file* and decides what is resident in
+memory at any moment.
+
+* **lazy open** - ``register`` records the path only; the index is
+  loaded (mmap-backed by default) on the first query that needs it;
+* **LRU residency** - at most ``capacity`` indexes stay resident;
+  touching a dataset moves it to the fresh end, loading one past the
+  cap evicts the stalest.  Registrations themselves are never dropped,
+  so an evicted dataset transparently reloads on its next query;
+* **hot reload** - every access re-stats the file; a changed
+  ``(mtime_ns, size)`` signature drops the resident index and reloads
+  from disk, so rebuilding an index behind a running server takes
+  effect on the next request with no restart;
+* **explicit evict** - ``evict``/``evict_all`` for operational control
+  (e.g. before deleting a dataset file).
+
+All public methods are thread-safe behind one lock; loads happen under
+it, which serializes cold starts but keeps the LRU and reload logic
+trivially correct.  With mmap-backed loads a cold start is O(header),
+so the serialization window is microseconds, not parse time.
+
+Examples
+--------
+>>> import tempfile, os
+>>> from repro.graph.generators import ring_of_cliques
+>>> from repro.index import build_index
+>>> path = os.path.join(tempfile.mkdtemp(), "ring.kvccidx")
+>>> build_index(ring_of_cliques(3, 5)).save(path)
+>>> registry = IndexRegistry(capacity=4)
+>>> registry.register("ring", path)
+>>> registry.get("ring").vcc_number(0)
+4
+>>> [d["name"] for d in registry.datasets()]
+['ring']
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.index.query import HierarchyQueryService
+from repro.index.store import HierarchyIndex
+
+
+class DatasetNotFound(KeyError):
+    """Requested dataset name has never been registered."""
+
+
+class _Entry:
+    """Registration record plus residency state for one dataset."""
+
+    __slots__ = ("name", "path", "service", "signature")
+
+    def __init__(self, name: str, path: str) -> None:
+        self.name = name
+        self.path = path
+        self.service: Optional[HierarchyQueryService] = None
+        #: ``(mtime_ns, size)`` of the file backing ``service``.
+        self.signature: Optional[Tuple[int, int]] = None
+
+
+def _file_signature(path: str) -> Tuple[int, int]:
+    """The freshness key hot reload compares: mtime (ns) and size."""
+    status = os.stat(path)
+    return (status.st_mtime_ns, status.st_size)
+
+
+class IndexRegistry:
+    """Named hierarchy indexes with lazy load, LRU residency and reload.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of indexes resident at once (>= 1).
+    mmap:
+        Load indexes mmap-backed (default) so cold starts are O(header)
+        and resident pages are shared; ``False`` forces eager parses.
+    """
+
+    def __init__(self, capacity: int = 8, mmap: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._mmap = mmap
+        self._lock = threading.Lock()
+        #: Insertion/touch order *is* the LRU order (stalest first).
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._counters: Dict[str, int] = {
+            "loads": 0, "reloads": 0, "evictions": 0, "hits": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, path: str) -> None:
+        """Map ``name`` to an index file; the file is not opened yet.
+
+        Re-registering an existing name re-points it (and drops any
+        index resident under the old path).
+        """
+        if not name or "/" in name:
+            raise ValueError(
+                f"dataset name must be non-empty and slash-free, "
+                f"got {name!r}"
+            )
+        with self._lock:
+            old = self._entries.pop(name, None)
+            if old is not None and old.service is not None:
+                self._release(old)
+            self._entries[name] = _Entry(name, str(path))
+
+    def unregister(self, name: str) -> bool:
+        """Forget a dataset entirely; True if it was registered."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+            if entry is None:
+                return False
+            self._release(entry)
+            return True
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> HierarchyQueryService:
+        """The query service for ``name``, loading or reloading as needed.
+
+        Raises :class:`DatasetNotFound` for unknown names and ``OSError``
+        when the registered file is missing or unreadable.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise DatasetNotFound(name)
+            signature = _file_signature(entry.path)
+            if entry.service is not None and entry.signature != signature:
+                self._release(entry)
+                self._counters["reloads"] += 1
+            if entry.service is None:
+                entry.service = HierarchyQueryService(
+                    HierarchyIndex.load(entry.path, mmap=self._mmap)
+                )
+                entry.signature = signature
+                self._counters["loads"] += 1
+            else:
+                self._counters["hits"] += 1
+            self._entries.move_to_end(name)
+            self._shrink()
+            return entry.service
+
+    def evict(self, name: str) -> bool:
+        """Drop the resident index for ``name`` (registration stays).
+
+        True if an index was actually resident.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.service is None:
+                return False
+            self._release(entry)
+            self._counters["evictions"] += 1
+            return True
+
+    def evict_all(self) -> int:
+        """Drop every resident index; returns how many were resident."""
+        with self._lock:
+            dropped = 0
+            for entry in self._entries.values():
+                if entry.service is not None:
+                    self._release(entry)
+                    dropped += 1
+            self._counters["evictions"] += dropped
+            return dropped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def datasets(self) -> List[dict]:
+        """One JSON-ready record per registered dataset, LRU order.
+
+        Resident datasets also report their index shape; non-resident
+        ones are *not* loaded just to be described.
+        """
+        with self._lock:
+            out = []
+            for entry in self._entries.values():
+                record = {
+                    "name": entry.name,
+                    "path": entry.path,
+                    "resident": entry.service is not None,
+                }
+                if entry.service is not None:
+                    index = entry.service.index
+                    record.update(
+                        vertices=index.num_vertices,
+                        nodes=index.num_nodes,
+                        max_k=index.max_k,
+                        mmap=index.is_mmap,
+                    )
+                out.append(record)
+            return out
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters: loads, reloads, evictions, hits."""
+        with self._lock:
+            counters = dict(self._counters)
+            counters["registered"] = len(self._entries)
+            counters["resident"] = sum(
+                1 for e in self._entries.values() if e.service is not None
+            )
+            return counters
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _release(self, entry: _Entry) -> None:
+        """Drop an entry's resident index.
+
+        Just clears the references: reference counting releases the
+        mapping the moment the last in-flight query using it finishes.
+        Explicitly ``close()``-ing here would materialize the whole
+        index (O(index) work under the registry lock) only to discard
+        it, and would race concurrent readers still holding views.
+        """
+        entry.service = None
+        entry.signature = None
+
+    def _shrink(self) -> None:
+        """Evict stalest resident indexes until within capacity."""
+        resident = [
+            e for e in self._entries.values() if e.service is not None
+        ]
+        excess = len(resident) - self._capacity
+        if excess <= 0:
+            return
+        for entry in resident[:excess]:
+            self._release(entry)
+            self._counters["evictions"] += 1

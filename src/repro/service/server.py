@@ -1,0 +1,90 @@
+"""Stdlib HTTP front end for the index serving layer.
+
+One :class:`~http.server.ThreadingHTTPServer` (a thread per connection,
+no third-party dependency) whose request handler parses the URL and
+defers to :func:`repro.service.handlers.handle_request`.  Suitable for
+the paper's read-only workload: every endpoint is a GET over immutable,
+mmap-shared arrays, so concurrent handler threads never contend on
+anything but the registry's LRU lock.
+
+Start it from the CLI (``repro serve web=web.kvccidx --port 8716``) or
+embed it::
+
+    registry = IndexRegistry()
+    registry.register("web", "web.kvccidx")
+    with create_server(registry, port=0) as server:   # 0 = ephemeral
+        print(server.server_address)
+        server.serve_forever()
+"""
+
+from __future__ import annotations
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.handlers import handle_request, render_json
+from repro.service.registry import IndexRegistry
+
+#: Default TCP port of ``repro serve`` (chosen to be collision-poor).
+DEFAULT_PORT = 8716
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Translate HTTP GETs into :func:`handle_request` calls.
+
+    The bound registry lives on the *server* object (one per server,
+    many handler instances), so this class stays stateless.
+    """
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"  # keep-alive: one connection, many queries
+    # Coalesce status line + headers + body into one send and disable
+    # Nagle: header and body as two small packets otherwise interlock
+    # Nagle with the client's delayed ACK, turning every keep-alive
+    # round trip into a ~40 ms stall.
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    def do_GET(self) -> None:
+        """Serve one API request as a JSON response."""
+        url = urlsplit(self.path)
+        status, payload = handle_request(
+            self.server.registry, url.path, parse_qs(url.query)
+        )
+        body = render_json(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        """Respect the server's ``quiet`` flag instead of spamming stderr."""
+        if not getattr(self.server, "quiet", False):
+            super().log_message(format, *args)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server carrying its registry and verbosity."""
+
+    daemon_threads = True
+
+    def __init__(self, address, registry: IndexRegistry, quiet: bool) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.registry = registry
+        self.quiet = quiet
+
+
+def create_server(
+    registry: IndexRegistry,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    quiet: bool = True,
+) -> ServiceServer:
+    """Bind (but do not start) the serving HTTP server.
+
+    ``port=0`` binds an ephemeral port; read the real one back from
+    ``server.server_address``.  Call ``serve_forever()`` to run and
+    ``shutdown()`` (from another thread) to stop.
+    """
+    return ServiceServer((host, port), registry, quiet)

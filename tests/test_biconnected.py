@@ -1,7 +1,6 @@
 """Tests for Hopcroft-Tarjan biconnected components."""
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.kvcc import kvcc_vertex_sets
@@ -10,11 +9,7 @@ from repro.graph.biconnected import (
     biconnected_components,
     two_vccs,
 )
-from repro.graph.generators import (
-    complete_graph,
-    cycle_graph,
-    gnp_random_graph,
-)
+from repro.graph.generators import cycle_graph, gnp_random_graph
 from repro.graph.graph import Graph
 
 from helpers import vertex_set_family

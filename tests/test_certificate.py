@@ -13,11 +13,7 @@ from repro.certificate.scan_first_search import (
 from repro.certificate.side_groups import group_index, side_groups_from_forest
 from repro.certificate.sparse_certificate import sparse_certificate
 from repro.graph.connectivity import components_after_removal, is_connected
-from repro.graph.generators import (
-    complete_graph,
-    cycle_graph,
-    gnp_random_graph,
-)
+from repro.graph.generators import complete_graph, gnp_random_graph
 from repro.graph.graph import Graph
 
 from helpers import random_connected_graph

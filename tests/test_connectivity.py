@@ -1,6 +1,5 @@
 """Tests for traversal utilities (BFS, components, cut checks)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.graph.connectivity import (
@@ -12,7 +11,7 @@ from repro.graph.connectivity import (
     is_vertex_cut,
     shortest_path_length,
 )
-from repro.graph.generators import complete_graph, cycle_graph, gnp_random_graph
+from repro.graph.generators import cycle_graph, gnp_random_graph
 from repro.graph.graph import Graph
 
 

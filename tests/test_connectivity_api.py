@@ -15,7 +15,6 @@ from repro.core.connectivity_api import (
 from repro.graph.generators import (
     complete_graph,
     cycle_graph,
-    gnp_random_graph,
 )
 from repro.graph.graph import Graph
 

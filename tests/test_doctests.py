@@ -1,9 +1,9 @@
 """Run the doctests embedded in public docstrings.
 
 The parametrization spans the package root, the graph substrate, the
-public enumeration/hierarchy API, and the whole :mod:`repro.index`
-package (collected automatically so new index modules cannot silently
-skip doctest coverage).
+public enumeration/hierarchy API, and the whole :mod:`repro.index` and
+:mod:`repro.service` packages (collected automatically so new serving
+modules cannot silently skip doctest coverage).
 """
 
 import doctest
@@ -21,6 +21,7 @@ import repro.graph.csr
 import repro.graph.graph
 import repro.graph.io
 import repro.index
+import repro.service
 
 MODULES = [
     repro,
@@ -32,14 +33,16 @@ MODULES = [
     repro.core.ksweep,
     repro.core.hierarchy,
     repro.index,
+    repro.service,
 ]
-# Every module of the index package, present and future.
-MODULES += [
-    importlib.import_module(info.name)
-    for info in pkgutil.walk_packages(
-        repro.index.__path__, prefix="repro.index."
-    )
-]
+# Every module of the serving-path packages, present and future.
+for package in (repro.index, repro.service):
+    MODULES += [
+        importlib.import_module(info.name)
+        for info in pkgutil.walk_packages(
+            package.__path__, prefix=package.__name__ + "."
+        )
+    ]
 
 
 @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
@@ -49,6 +52,12 @@ def test_module_doctests(module):
 
 
 def test_index_package_is_collected():
-    """The walk actually found the index submodules."""
+    """The walk actually found the index and service submodules."""
     names = {m.__name__ for m in MODULES}
-    assert {"repro.index.store", "repro.index.query"} <= names
+    assert {
+        "repro.index.store",
+        "repro.index.query",
+        "repro.service.registry",
+        "repro.service.handlers",
+        "repro.service.server",
+    } <= names

@@ -7,12 +7,10 @@ from repro.core.kvcc import enumerate_kvccs, kvcc_vertex_sets
 from repro.core.overlap_graph import build_overlap_graph
 from repro.graph.generators import (
     complete_graph,
-    figure1_graph,
     gnp_random_graph,
     overlapping_cliques_graph,
     ring_of_cliques,
 )
-from repro.graph.graph import Graph
 
 from helpers import vertex_set_family
 

@@ -17,7 +17,6 @@ from repro.experiments.case_study import (
 )
 from repro.experiments.counts import format_counts, run_counts
 from repro.experiments.effectiveness import (
-    EffectivenessRow,
     components_for_model,
     format_effectiveness,
     run_effectiveness,

@@ -1,6 +1,5 @@
 """Tests for the flow package: network construction, Dinic, cut extraction."""
 
-import math
 
 import networkx as nx
 import pytest
@@ -12,10 +11,9 @@ from repro.flow.min_cut import (
     all_pairs_min_connectivity,
     local_vertex_connectivity,
     local_vertex_cut,
-    minimum_vertex_cut_from_residual,
 )
 from repro.graph.connectivity import shortest_path_length
-from repro.graph.generators import complete_graph, cycle_graph, gnp_random_graph
+from repro.graph.generators import complete_graph, cycle_graph
 from repro.graph.graph import Graph
 
 from helpers import random_connected_graph

@@ -12,7 +12,6 @@ from repro.graph.connectivity import is_vertex_cut
 from repro.graph.generators import (
     complete_graph,
     cycle_graph,
-    gnp_random_graph,
     overlapping_cliques_graph,
 )
 from repro.graph.graph import Graph

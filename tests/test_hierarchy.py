@@ -1,6 +1,5 @@
 """Tests for the k-VCC hierarchy and vcc-number."""
 
-import networkx as nx
 import pytest
 
 from repro.core.hierarchy import build_hierarchy, build_hierarchy_csr, vcc_number

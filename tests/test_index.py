@@ -3,6 +3,8 @@
 import struct
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.hierarchy import build_hierarchy, vcc_number
 from repro.core.kvcc import kvcc_vertex_sets
@@ -230,6 +232,223 @@ class TestSaveLoad:
         assert blob[len(MAGIC)] == FORMAT_VERSION
         n_vertices = struct.unpack_from("<I", blob, len(MAGIC) + 1)[0]
         assert n_vertices == 4
+
+
+class TestMmapLoad:
+    def test_load_equals_eager(self, tmp_path):
+        for seed in range(4):
+            g = gnp_random_graph(13, 0.4, seed=seed * 7 + 1)
+            path = tmp_path / f"g{seed}.kvccidx"
+            index = build_index(g)
+            index.save(path)
+            mapped = load_index(path, mmap=True)
+            assert mapped.is_mmap
+            assert mapped == index
+            assert mapped == load_index(path)
+            mapped.close()
+
+    def test_query_parity_with_eager(self, tmp_path):
+        g = overlapping_cliques_graph(
+            clique_size=5, num_cliques=2, overlap=2
+        )
+        path = tmp_path / "g.kvccidx"
+        build_index(g).save(path)
+        mapped = HierarchyQueryService.from_file(path, mmap=True)
+        eager = HierarchyQueryService.from_file(path)
+        verts = list(g.vertices()) + ["missing"]
+        for u in verts:
+            assert mapped.vcc_number(u) == eager.vcc_number(u)
+            for v in verts:
+                assert mapped.max_shared_level(u, v) == (
+                    eager.max_shared_level(u, v)
+                )
+                for k in range(1, 6):
+                    assert mapped.same_kvcc(u, v, k) == eager.same_kvcc(
+                        u, v, k
+                    )
+                    assert mapped.components_of(u, k) == eager.components_of(
+                        u, k
+                    )
+
+    def test_lazy_labels_not_decoded_at_load(self, tmp_path):
+        path = tmp_path / "g.kvccidx"
+        build_index(ring_of_cliques(3, 5)).save(path)
+        mapped = load_index(path, mmap=True)
+        assert mapped._labels is None  # nothing decoded yet
+        assert mapped.num_vertices == 15  # header-only shape query
+        assert mapped.vcc_number_of(0) == 4  # first label access decodes
+        assert mapped._labels is not None
+
+    def test_string_labels(self, tmp_path):
+        g = Graph([("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+        path = tmp_path / "g.kvccidx"
+        build_index(g).save(path)
+        mapped = load_index(path, mmap=True)
+        assert mapped.vcc_number_of("a") == 2
+        assert mapped.vcc_number_of("d") == 1
+
+    def test_save_round_trip_from_mmap(self, tmp_path):
+        """An mmap-backed index can be re-persisted unchanged."""
+        index = build_index(ring_of_cliques(3, 4))
+        first = tmp_path / "a.kvccidx"
+        second = tmp_path / "b.kvccidx"
+        index.save(first)
+        mapped = load_index(first, mmap=True)
+        mapped.save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_close_detaches_but_keeps_answers(self, tmp_path):
+        path = tmp_path / "g.kvccidx"
+        index = build_index(ring_of_cliques(3, 5))
+        index.save(path)
+        mapped = load_index(path, mmap=True)
+        assert mapped.vcc_number_of(0) == 4
+        mapped.close()
+        assert not mapped.is_mmap
+        assert mapped == index  # still fully readable post-close
+        mapped.close()  # idempotent
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.kvccidx"
+        build_index(Graph()).save(path)
+        mapped = load_index(path, mmap=True)
+        assert mapped.num_nodes == 0
+        assert mapped.max_k == 0
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "not_an_index"
+        path.write_bytes(b"hello world, definitely not an index")
+        with pytest.raises(ValueError, match="bad magic"):
+            load_index(path, mmap=True)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="truncated"):
+            load_index(path, mmap=True)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "g.kvccidx"
+        path.write_bytes(MAGIC + bytes([FORMAT_VERSION]) + b"\x01\x02")
+        with pytest.raises(ValueError, match="truncated"):
+            load_index(path, mmap=True)
+
+    def test_truncated_body_rejected(self, tmp_path):
+        path = tmp_path / "g.kvccidx"
+        build_index(complete_graph(4)).save(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 5])
+        with pytest.raises(ValueError, match="truncated"):
+            load_index(path, mmap=True)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "g.kvccidx"
+        build_index(complete_graph(4)).save(path)
+        blob = bytearray(path.read_bytes())
+        blob[len(MAGIC)] = FORMAT_VERSION + 1
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_index(path, mmap=True)
+
+    def test_corrupt_run_table_rejected(self, tmp_path):
+        """Right length, nonsense run table: caught by the O(1) check."""
+        path = tmp_path / "g.kvccidx"
+        build_index(complete_graph(4)).save(path)
+        blob = bytearray(path.read_bytes())
+        # The run_offsets section starts after header + labels + 2 node
+        # sections; stomp its first entry (must be 0).
+        header = struct.unpack_from("<IIIiI", blob, len(MAGIC) + 1)
+        n_vertices, n_nodes, n_run_pairs, _, labels_len = header
+        offset = len(MAGIC) + 1 + 20 + labels_len + 8 * n_nodes
+        struct.pack_into("<i", blob, offset, 7)
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="corrupt"):
+            load_index(path, mmap=True)
+        with pytest.raises(ValueError, match="corrupt"):
+            load_index(path)
+
+
+class TestBatchQueries:
+    def test_vcc_numbers_matches_scalar(self):
+        g = gnp_random_graph(15, 0.4, seed=19)
+        service = HierarchyQueryService(build_index(g))
+        verts = list(g.vertices()) + ["missing", -1]
+        assert service.vcc_numbers(verts) == [
+            service.vcc_number(v) for v in verts
+        ]
+
+    def test_vcc_numbers_empty(self):
+        service = HierarchyQueryService(build_index(complete_graph(4)))
+        assert service.vcc_numbers([]) == []
+
+    def test_vcc_numbers_one_shot_iterator(self):
+        """A generator input must survive the fast-path retry intact."""
+        service = HierarchyQueryService(build_index(complete_graph(4)))
+        verts = [0, "missing", 1, 2]
+        assert service.vcc_numbers(v for v in verts) == [3, 0, 3, 3]
+
+    def test_same_kvcc_many_matches_scalar(self):
+        g = overlapping_cliques_graph(
+            clique_size=5, num_cliques=3, overlap=2
+        )
+        service = HierarchyQueryService(build_index(g))
+        verts = list(g.vertices())
+        pairs = [(u, v) for u in verts[:8] for v in verts[:8]]
+        for k in range(1, service.index.max_k + 2):
+            assert service.same_kvcc_many(pairs, k) == [
+                service.same_kvcc(u, v, k) for u, v in pairs
+            ]
+
+    def test_max_shared_levels_matches_scalar(self):
+        g = ring_of_cliques(4, 5)
+        service = HierarchyQueryService(build_index(g))
+        verts = list(g.vertices()) + ["missing"]
+        pairs = [(u, v) for u in verts for v in verts]
+        assert service.max_shared_levels(pairs) == [
+            service.max_shared_level(u, v) for u, v in pairs
+        ]
+
+    def test_same_kvcc_many_invalid_k(self):
+        service = HierarchyQueryService(build_index(complete_graph(4)))
+        with pytest.raises(ValueError, match="at least 1"):
+            service.same_kvcc_many([(0, 1)], 0)
+
+    # One service per class, not per example: the index is immutable
+    # and hypothesis only varies the query stream.
+    _PROPERTY_SERVICE = None
+
+    @classmethod
+    def _service(cls):
+        if cls._PROPERTY_SERVICE is None:
+            g = gnp_random_graph(18, 0.35, seed=5)
+            cls._PROPERTY_SERVICE = HierarchyQueryService(build_index(g))
+        return cls._PROPERTY_SERVICE
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=-3, max_value=20),
+                st.integers(min_value=-3, max_value=20),
+            ),
+            max_size=30,
+        ),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_batch_equals_scalar(self, pairs, k):
+        """Batch answers == scalar answers for arbitrary query streams,
+        including out-of-graph vertex ids."""
+        service = self._service()
+        assert service.same_kvcc_many(pairs, k) == [
+            service.same_kvcc(u, v, k) for u, v in pairs
+        ]
+        assert service.max_shared_levels(pairs) == [
+            service.max_shared_level(u, v) for u, v in pairs
+        ]
+        flat = [v for pair in pairs for v in pair]
+        assert service.vcc_numbers(flat) == [
+            service.vcc_number(v) for v in flat
+        ]
 
 
 class TestQueryService:

@@ -6,7 +6,6 @@ from repro.core.kvcc import enumerate_kvccs, kvcc_vertex_sets, vccs_containing
 from repro.core.stats import RunStats
 from repro.core.variants import VARIANTS
 from repro.graph.generators import (
-    complete_graph,
     cycle_graph,
     overlapping_cliques_graph,
     clique_membership_for_chain,

@@ -18,7 +18,6 @@ from repro.baselines.kecc import k_ecc_components
 from repro.core.kvcc import kvcc_vertex_sets
 from repro.graph.generators import gnp_random_graph
 from repro.graph.metrics import diameter
-from repro.graph.graph import Graph
 
 from helpers import random_connected_graph
 

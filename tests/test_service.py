@@ -1,0 +1,451 @@
+"""Tests for the serving layer: registry, handlers, HTTP server, CLI."""
+
+import http.client
+import json
+import os
+import threading
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import (
+    complete_graph,
+    ring_of_cliques,
+    web_graph,
+)
+from repro.index import HierarchyQueryService, build_index
+from repro.service import (
+    DatasetNotFound,
+    IndexRegistry,
+    create_server,
+    handle_request,
+)
+
+
+def save_index(graph, path):
+    """Build and persist an index; returns the built index."""
+    index = build_index(graph)
+    index.save(path)
+    return index
+
+
+def bump_mtime(path):
+    """Force a visibly different mtime even on coarse filesystems."""
+    status = os.stat(path)
+    os.utime(path, ns=(status.st_atime_ns, status.st_mtime_ns + 1_000_000))
+
+
+@pytest.fixture
+def ring_path(tmp_path):
+    path = str(tmp_path / "ring.kvccidx")
+    save_index(ring_of_cliques(3, 5), path)
+    return path
+
+
+@pytest.fixture
+def web_path(tmp_path):
+    path = str(tmp_path / "web.kvccidx")
+    save_index(web_graph(150, seed=7), path)
+    return path
+
+
+class TestIndexRegistry:
+    def test_lazy_open(self, ring_path):
+        registry = IndexRegistry()
+        registry.register("ring", ring_path)
+        assert [d["resident"] for d in registry.datasets()] == [False]
+        assert registry.get("ring").vcc_number(0) == 4
+        records = registry.datasets()
+        assert records[0]["resident"] is True
+        assert records[0]["max_k"] == 4
+        assert records[0]["mmap"] is True
+
+    def test_unknown_dataset(self):
+        registry = IndexRegistry()
+        with pytest.raises(DatasetNotFound):
+            registry.get("nope")
+
+    def test_same_service_across_calls(self, ring_path):
+        registry = IndexRegistry()
+        registry.register("ring", ring_path)
+        assert registry.get("ring") is registry.get("ring")
+        assert registry.stats()["loads"] == 1
+        assert registry.stats()["hits"] == 1
+
+    def test_lru_eviction(self, ring_path, web_path):
+        registry = IndexRegistry(capacity=1)
+        registry.register("ring", ring_path)
+        registry.register("web", web_path)
+        registry.get("ring")
+        registry.get("web")  # capacity 1: ring must be evicted
+        resident = {d["name"]: d["resident"] for d in registry.datasets()}
+        assert resident == {"ring": False, "web": True}
+        assert registry.stats()["evictions"] == 1
+        # Evicted datasets transparently reload on the next query.
+        assert registry.get("ring").vcc_number(0) == 4
+        assert registry.stats()["loads"] == 3
+
+    def test_hot_reload_on_rewrite(self, tmp_path):
+        path = str(tmp_path / "g.kvccidx")
+        save_index(ring_of_cliques(3, 5), path)
+        registry = IndexRegistry()
+        registry.register("g", path)
+        assert registry.get("g").vcc_number(0) == 4
+        save_index(complete_graph(6), path)
+        bump_mtime(path)
+        assert registry.get("g").vcc_number(0) == 5
+        assert registry.stats()["reloads"] == 1
+
+    def test_no_reload_when_unchanged(self, ring_path):
+        registry = IndexRegistry()
+        registry.register("ring", ring_path)
+        registry.get("ring")
+        registry.get("ring")
+        assert registry.stats()["reloads"] == 0
+
+    def test_explicit_evict(self, ring_path):
+        registry = IndexRegistry()
+        registry.register("ring", ring_path)
+        assert registry.evict("ring") is False  # nothing resident yet
+        registry.get("ring")
+        assert registry.evict("ring") is True
+        assert registry.datasets()[0]["resident"] is False
+        assert registry.get("ring").vcc_number(0) == 4
+
+    def test_evict_all(self, ring_path, web_path):
+        registry = IndexRegistry()
+        registry.register("ring", ring_path)
+        registry.register("web", web_path)
+        registry.get("ring")
+        registry.get("web")
+        assert registry.evict_all() == 2
+        assert registry.stats()["resident"] == 0
+
+    def test_unregister(self, ring_path):
+        registry = IndexRegistry()
+        registry.register("ring", ring_path)
+        assert "ring" in registry
+        assert registry.unregister("ring") is True
+        assert registry.unregister("ring") is False
+        assert "ring" not in registry
+        with pytest.raises(DatasetNotFound):
+            registry.get("ring")
+
+    def test_reregister_repoints(self, ring_path, web_path):
+        registry = IndexRegistry()
+        registry.register("g", ring_path)
+        assert registry.get("g").index.max_k == 4
+        registry.register("g", web_path)
+        assert registry.get("g").index.num_vertices == 150
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        registry = IndexRegistry()
+        registry.register("gone", str(tmp_path / "gone.kvccidx"))
+        with pytest.raises(OSError):
+            registry.get("gone")
+
+    def test_bad_names_rejected(self, ring_path):
+        registry = IndexRegistry()
+        with pytest.raises(ValueError, match="slash-free"):
+            registry.register("a/b", ring_path)
+        with pytest.raises(ValueError, match="slash-free"):
+            registry.register("", ring_path)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            IndexRegistry(capacity=0)
+
+    def test_eager_mode(self, ring_path):
+        registry = IndexRegistry(mmap=False)
+        registry.register("ring", ring_path)
+        service = registry.get("ring")
+        assert service.index.is_mmap is False
+        assert service.vcc_number(0) == 4
+
+
+@pytest.fixture
+def registry(ring_path, web_path):
+    reg = IndexRegistry()
+    reg.register("ring", ring_path)
+    reg.register("web", web_path)
+    return reg
+
+
+class TestHandlers:
+    def test_healthz(self, registry):
+        status, payload = handle_request(registry, "/healthz", {})
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["registered"] == 2
+
+    def test_datasets(self, registry):
+        status, payload = handle_request(registry, "/datasets", {})
+        assert status == 200
+        assert [d["name"] for d in payload["datasets"]] == ["ring", "web"]
+
+    def test_vcc_number_scalar(self, registry):
+        status, payload = handle_request(
+            registry, "/v1/ring/vcc-number", {"v": ["0"]}
+        )
+        assert (status, payload) == (200, {"v": "0", "vcc_number": 4})
+
+    def test_vcc_number_batch(self, registry):
+        status, payload = handle_request(
+            registry, "/v1/ring/vcc-number", {"v": ["0", "1", "999"]}
+        )
+        assert status == 200
+        assert payload["vcc_numbers"] == [4, 4, 0]
+
+    def test_same_kvcc(self, registry):
+        status, payload = handle_request(
+            registry, "/v1/ring/same-kvcc",
+            {"u": ["0"], "v": ["1"], "k": ["4"]},
+        )
+        assert (status, payload["same_kvcc"]) == (200, True)
+
+    def test_same_kvcc_pairs(self, registry):
+        status, payload = handle_request(
+            registry, "/v1/ring/same-kvcc",
+            {"pair": ["0:1", "0:14"], "k": ["4"]},
+        )
+        assert (status, payload["results"]) == (200, [True, False])
+
+    def test_components_of(self, registry):
+        status, payload = handle_request(
+            registry, "/v1/ring/components-of", {"v": ["0"], "k": ["4"]}
+        )
+        assert status == 200
+        assert payload["count"] == 1
+        assert payload["components"] == [[0, 1, 2, 3, 4]]
+
+    def test_max_shared_level(self, registry):
+        status, payload = handle_request(
+            registry, "/v1/ring/max-shared-level", {"u": ["0"], "v": ["14"]}
+        )
+        assert (status, payload["max_shared_level"]) == (200, 2)
+
+    def test_max_shared_level_pairs(self, registry):
+        status, payload = handle_request(
+            registry, "/v1/ring/max-shared-level", {"pair": ["0:1", "0:14"]}
+        )
+        assert status == 200
+        assert payload["results"] == [4, 2]
+
+    def test_unknown_dataset_404(self, registry):
+        status, payload = handle_request(
+            registry, "/v1/nope/vcc-number", {"v": ["0"]}
+        )
+        assert status == 404
+        assert "nope" in payload["error"]
+
+    def test_unknown_endpoint_404(self, registry):
+        status, payload = handle_request(registry, "/v1/ring/bogus", {})
+        assert status == 404
+        assert "bogus" in payload["error"]
+
+    def test_unknown_route_404(self, registry):
+        assert handle_request(registry, "/junk", {})[0] == 404
+
+    def test_missing_param_400(self, registry):
+        status, payload = handle_request(registry, "/v1/ring/vcc-number", {})
+        assert status == 400
+        assert "'v'" in payload["error"]
+
+    def test_repeated_scalar_param_400(self, registry):
+        status, _ = handle_request(
+            registry, "/v1/ring/same-kvcc",
+            {"u": ["0", "1"], "v": ["1"], "k": ["2"]},
+        )
+        assert status == 400
+
+    def test_bad_k_400(self, registry):
+        for bad in (["zero"], ["0"], ["-3"]):
+            status, payload = handle_request(
+                registry, "/v1/ring/components-of", {"v": ["0"], "k": bad}
+            )
+            assert status == 400, payload
+
+    def test_bad_pair_400(self, registry):
+        status, payload = handle_request(
+            registry, "/v1/ring/same-kvcc",
+            {"pair": ["nocolon"], "k": ["2"]},
+        )
+        assert status == 400
+        assert "u:v" in payload["error"]
+
+    def test_missing_file_503(self, tmp_path, registry):
+        registry.register("gone", str(tmp_path / "gone.kvccidx"))
+        status, payload = handle_request(
+            registry, "/v1/gone/vcc-number", {"v": ["0"]}
+        )
+        assert status == 503
+        assert "unavailable" in payload["error"]
+
+    def test_corrupt_file_503(self, tmp_path, registry):
+        """A truncated/garbage index is a server problem, not a 400."""
+        bad = tmp_path / "bad.kvccidx"
+        bad.write_bytes(b"garbage, not an index")
+        registry.register("bad", str(bad))
+        status, payload = handle_request(
+            registry, "/v1/bad/vcc-number", {"v": ["0"]}
+        )
+        assert status == 503
+        assert "unavailable" in payload["error"]
+
+    def test_corrupted_behind_live_server_503(self, tmp_path):
+        """Hot reload of a file that went bad must 503, then recover."""
+        path = str(tmp_path / "g.kvccidx")
+        save_index(ring_of_cliques(3, 5), path)
+        registry = IndexRegistry()
+        registry.register("g", path)
+        assert handle_request(
+            registry, "/v1/g/vcc-number", {"v": ["0"]}
+        )[0] == 200
+        with open(path, "wb") as handle:
+            handle.write(b"truncated")
+        bump_mtime(path)
+        assert handle_request(
+            registry, "/v1/g/vcc-number", {"v": ["0"]}
+        )[0] == 503
+        save_index(ring_of_cliques(3, 5), path)
+        bump_mtime(path)
+        assert handle_request(
+            registry, "/v1/g/vcc-number", {"v": ["0"]}
+        )[0] == 200
+
+    def test_string_labels_parse(self, tmp_path):
+        from repro.graph.graph import Graph
+
+        path = str(tmp_path / "s.kvccidx")
+        save_index(
+            Graph([("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]), path
+        )
+        registry = IndexRegistry()
+        registry.register("s", path)
+        status, payload = handle_request(
+            registry, "/v1/s/vcc-number", {"v": ["a"]}
+        )
+        assert (status, payload["vcc_number"]) == (200, 2)
+
+
+@pytest.fixture
+def server(registry):
+    srv = create_server(registry, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+
+
+def http_get(server, path):
+    """One GET against the test server; returns (status, payload)."""
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+class TestHttpServer:
+    def test_healthz(self, server):
+        status, payload = http_get(server, "/healthz")
+        assert (status, payload["status"]) == (200, "ok")
+
+    def test_query_parity_with_direct_service(self, server, ring_path):
+        direct = HierarchyQueryService.from_file(ring_path)
+        for v in (0, 5, 14):
+            status, payload = http_get(server, f"/v1/ring/vcc-number?v={v}")
+            assert status == 200
+            assert payload["vcc_number"] == direct.vcc_number(v)
+        status, payload = http_get(
+            server, "/v1/ring/max-shared-level?u=0&v=14"
+        )
+        assert payload["max_shared_level"] == direct.max_shared_level(0, 14)
+
+    def test_batch_over_http(self, server, ring_path):
+        direct = HierarchyQueryService.from_file(ring_path)
+        vs = list(range(15))
+        query = "&".join(f"v={v}" for v in vs)
+        status, payload = http_get(server, f"/v1/ring/vcc-number?{query}")
+        assert status == 200
+        assert payload["vcc_numbers"] == direct.vcc_numbers(vs)
+
+    def test_error_statuses_over_http(self, server):
+        assert http_get(server, "/v1/nope/vcc-number?v=0")[0] == 404
+        assert http_get(server, "/v1/ring/vcc-number")[0] == 400
+        assert http_get(server, "/bogus")[0] == 404
+
+    def test_keep_alive_connection(self, server):
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            for _ in range(5):
+                connection.request("GET", "/v1/ring/vcc-number?v=0")
+                response = connection.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["vcc_number"] == 4
+        finally:
+            connection.close()
+
+    def test_content_type_json(self, server):
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            response.read()
+            assert response.getheader("Content-Type") == "application/json"
+        finally:
+            connection.close()
+
+
+class TestServeCli:
+    def test_dataset_spec_named(self):
+        from repro.cli import _dataset_spec
+
+        assert _dataset_spec("web=/tmp/web.kvccidx") == (
+            "web", "/tmp/web.kvccidx"
+        )
+
+    def test_dataset_spec_bare_path(self):
+        from repro.cli import _dataset_spec
+
+        assert _dataset_spec("graphs/web.kvccidx") == (
+            "web", "graphs/web.kvccidx"
+        )
+
+    def test_dataset_spec_invalid(self):
+        import argparse
+
+        from repro.cli import _dataset_spec
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _dataset_spec("=path")
+
+    def test_parser_wiring(self, ring_path):
+        args = build_parser().parse_args(
+            ["serve", f"ring={ring_path}", "--port", "0", "--capacity", "2"]
+        )
+        assert args.datasets == [("ring", ring_path)]
+        assert args.port == 0
+        assert args.capacity == 2
+        assert args.eager is False
+
+    def test_preload_missing_file_fails_fast(self, tmp_path, capsys):
+        code = main(
+            ["serve", f"gone={tmp_path}/gone.kvccidx", "--preload",
+             "--port", "0"]
+        )
+        assert code == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_preload_corrupt_file_fails_fast(self, tmp_path, capsys):
+        bad = tmp_path / "bad.kvccidx"
+        bad.write_bytes(b"definitely not an index file")
+        code = main(["serve", f"bad={bad}", "--preload", "--port", "0"])
+        assert code == 2
+        assert "bad magic" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Tests for strong side-vertex detection and maintenance."""
 
-import networkx as nx
 from hypothesis import given, settings, strategies as st
 
 from repro.core.side_vertex import (
@@ -9,7 +8,7 @@ from repro.core.side_vertex import (
     split_inheritance,
     strong_side_vertices,
 )
-from repro.graph.generators import complete_graph, cycle_graph, gnp_random_graph
+from repro.graph.generators import complete_graph, gnp_random_graph
 from repro.graph.graph import Graph
 
 from helpers import random_connected_graph

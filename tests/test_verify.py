@@ -1,6 +1,5 @@
 """Tests for the independent decomposition verifier."""
 
-import pytest
 
 from repro.core.kvcc import enumerate_kvccs, kvcc_vertex_sets
 from repro.core.verify import verify_kvccs
