@@ -50,7 +50,9 @@ from repro.core.hierarchy import (
     build_hierarchy_csr,
     vcc_number,
 )
+from repro.core.kvcc import enumerate_kvccs_csr
 from repro.core.verify import VerificationReport, verify_kvccs
+from repro.data import load_graph, load_graph_csr, resolve_dataset
 from repro.index import (
     HierarchyIndex,
     HierarchyQueryService,
@@ -98,5 +100,9 @@ __all__ = [
     "load_index",
     "VerificationReport",
     "verify_kvccs",
+    "enumerate_kvccs_csr",
+    "load_graph",
+    "load_graph_csr",
+    "resolve_dataset",
     "__version__",
 ]

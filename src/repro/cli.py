@@ -3,9 +3,9 @@
 Commands
 --------
 ``kvcc``
-    Enumerate the k-VCCs of an edge-list file and print (or save) them.
+    Enumerate the k-VCCs of a dataset and print (or save) them.
 ``stats``
-    Print Table 1-style statistics for an edge-list file.
+    Print Table 1-style statistics for a dataset.
 ``connectivity``
     Vertex connectivity of a graph (or of a vertex pair with ``-u/-v``).
 ``hierarchy``
@@ -18,27 +18,39 @@ Commands
 ``serve``
     Long-lived HTTP JSON service over one or more saved index files:
     mmap-backed lazy loads, LRU residency, mtime hot reload, batch
-    endpoints (see :mod:`repro.service`).
+    endpoints (see :mod:`repro.service`); ``--build-missing``
+    materializes indexes straight from dataset tokens.
 ``experiments``
     Run the paper's experiment harness (``--quick`` for a fast pass).
+
+Every graph-consuming command accepts the same dataset grammar
+(:mod:`repro.data`): an edge-list path (``.txt``/``.csv``, optionally
+``.gz``), ``file:PATH``, or ``name:NAME`` for a synthetic stand-in.
+Parsed graphs are cached content-addressed under ``~/.cache/repro``
+(override with ``--cache-dir`` or ``$REPRO_CACHE_DIR``) as binary
+``KVCCG`` files, so every invocation after the first mmap-loads in
+O(header) instead of re-parsing text - and, on the default CSR
+backend, never builds a dict ``Graph`` at all.
 
 Examples
 --------
 ::
 
     python -m repro kvcc graph.txt -k 4
-    python -m repro kvcc graph.txt -k 4 --workers 4
+    python -m repro kvcc name:youtube -k 8
+    python -m repro kvcc snap.txt.gz -k 4 --workers 4
     python -m repro kvcc graph.txt -k 4 --variant VCCE --out result.json
-    python -m repro stats graph.txt
+    python -m repro stats name:dblp
     python -m repro connectivity graph.txt
     python -m repro connectivity graph.txt -u 3 -v 17
-    python -m repro hierarchy graph.txt --max-k 6 --workers 4
+    python -m repro hierarchy name:youtube --max-k 6 --workers 4
     python -m repro hierarchy graph.txt --save-index graph.kvccidx
     python -m repro query vcc-number graph.kvccidx -v 3
     python -m repro query components-of graph.kvccidx -v 3 -k 4
     python -m repro query same-kvcc graph.kvccidx -u 3 -v 17 -k 4
     python -m repro query max-shared-level graph.kvccidx -u 3 -v 17
     python -m repro serve web=graph.kvccidx --port 8716
+    python -m repro serve youtube=name:youtube --build-missing
     python -m repro experiments --quick
 """
 
@@ -48,18 +60,15 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.core.connectivity_api import (
-    local_connectivity,
-    minimum_vertex_cut,
-    vertex_connectivity,
-)
-from repro.core.hierarchy import build_hierarchy
-from repro.core.kvcc import enumerate_kvccs
 from repro.core.stats import RunStats
 from repro.core.variants import VARIANTS
-from repro.graph.io import read_edge_list
-from repro.graph.metrics import graph_summary
-from repro.graph.serialization import save_decomposition
+
+#: Uniform help text for the dataset positional of every graph command.
+_DATASET_HELP = (
+    "dataset: an edge-list path (u v per line, # comments; .csv and .gz "
+    "work too), 'file:PATH', or 'name:NAME' for a synthetic stand-in "
+    "(e.g. name:youtube)"
+)
 
 
 def _parse_vertex(token: str):
@@ -79,16 +88,92 @@ def _workers_arg(token: str) -> int:
     return value
 
 
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    """The dataset positional plus the shared cache knobs."""
+    parser.add_argument("graph", help=_DATASET_HELP)
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="graph cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk graph cache (parse/generate in process)",
+    )
+    parser.add_argument(
+        "--refresh-cache", action="store_true",
+        help="rebuild this dataset's cache entry even if present",
+    )
+
+
+def _load_base(args: argparse.Namespace):
+    """Resolve the dataset token and return a mine-ready CSR base.
+
+    A cache hit is an O(header) mmap load; a miss parses or generates
+    once and materializes the binary entry for next time.  Exits with
+    an argparse-style error on unknown names / missing files.
+    """
+    from repro.data import load_graph_csr
+
+    try:
+        return load_graph_csr(
+            args.graph,
+            cache_dir=args.cache_dir,
+            refresh=args.refresh_cache,
+            cache=not args.no_cache,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _label_id(base, token: str) -> int:
+    """Map a command-line vertex token to the base's dense id.
+
+    Tokens are tried int-first, then as the raw string - a graph whose
+    mixed-id file normalized to all-string labels still resolves
+    numeric tokens (the label is ``"1"``, the token ``1``).
+    """
+    label = _parse_vertex(token)
+    interner = base.interner
+    if interner is not None:
+        for candidate in (label, token):
+            try:
+                return interner[candidate]
+            except KeyError:
+                continue
+        raise SystemExit(f"error: vertex {token!r} is not in the graph")
+    if isinstance(label, int) and 0 <= label < base.n:
+        return label
+    raise SystemExit(f"error: vertex {token!r} is not in the graph")
+
+
 def cmd_kvcc(args: argparse.Namespace) -> int:
-    """Enumerate the k-VCCs of an edge-list file."""
+    """Enumerate the k-VCCs of a dataset."""
     import dataclasses
 
-    graph = read_edge_list(args.graph)
+    from repro.core.kvcc import enumerate_kvccs, enumerate_kvccs_csr
+    from repro.graph.serialization import save_decomposition
+
+    base = _load_base(args)
     stats = RunStats(k=args.k)
     options = dataclasses.replace(
         VARIANTS[args.variant], backend=args.backend, workers=args.workers
     )
-    components = enumerate_kvccs(graph, args.k, options, stats)
+    graph = None
+    if options.backend == "csr":
+        # The cached hot path: mmap CSR in, member-id lists out - no
+        # dict Graph is constructed anywhere in this branch.
+        leaves = enumerate_kvccs_csr(
+            base, args.k, options, stats, materialize=False
+        )
+        components = [[base.label_of(i) for i in leaf] for leaf in leaves]
+    else:
+        graph = base.to_graph()
+        components = [
+            sorted(sub.vertices(), key=str)
+            for sub in enumerate_kvccs(graph, args.k, options, stats)
+        ]
     engine_note = (
         "" if options.engine == "serial"
         else f", {stats.parallel_tasks} tasks on {args.workers or 'auto'} workers"
@@ -99,20 +184,24 @@ def cmd_kvcc(args: argparse.Namespace) -> int:
         f"{stats.partitions} partitions{engine_note})"
     )
     if args.out:
+        if args.embed_graph and graph is None:
+            graph = base.to_graph()
         save_decomposition(args.out, components, args.k,
                            graph if args.embed_graph else None)
         print(f"wrote {args.out}")
     else:
-        for i, sub in enumerate(components):
-            members = ", ".join(map(str, sorted(sub.vertices(), key=str)))
-            print(f"  [{i}] {sub.num_vertices} vertices: {members}")
+        for i, members in enumerate(components):
+            listing = ", ".join(map(str, sorted(members, key=str)))
+            print(f"  [{i}] {len(members)} vertices: {listing}")
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Print Table 1-style statistics for a graph file."""
-    graph = read_edge_list(args.graph)
-    summary = graph_summary(graph)
+    """Print Table 1-style statistics for a dataset."""
+    from repro.graph.metrics import graph_summary
+
+    base = _load_base(args)
+    summary = graph_summary(base)
     print(f"vertices:   {int(summary['num_vertices'])}")
     print(f"edges:      {int(summary['num_edges'])}")
     print(f"density:    {summary['density']:.3f}")
@@ -122,34 +211,52 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_connectivity(args: argparse.Namespace) -> int:
     """Vertex connectivity of the graph or a pair."""
-    graph = read_edge_list(args.graph)
+    from repro.core.connectivity_api import (
+        local_connectivity,
+        minimum_vertex_cut,
+        vertex_connectivity,
+    )
+
+    base = _load_base(args)
+    view = base.full_view()
     if (args.u is None) != (args.v is None):
         print("error: -u and -v must be given together", file=sys.stderr)
         return 2
     if args.u is not None:
-        u, v = _parse_vertex(args.u), _parse_vertex(args.v)
-        value = local_connectivity(graph, u, v)
-        print(f"kappa({u}, {v}) = {value}")
+        iu, iv = _label_id(base, args.u), _label_id(base, args.v)
+        value = local_connectivity(view, iu, iv)
+        print(
+            f"kappa({base.label_of(iu)}, {base.label_of(iv)}) = {value}"
+        )
     else:
-        kappa = vertex_connectivity(graph)
+        kappa = vertex_connectivity(view)
         print(f"kappa(G) = {kappa}")
         if args.show_cut:
             try:
-                cut = minimum_vertex_cut(graph)
+                cut = minimum_vertex_cut(view)
             except ValueError as exc:
                 print(f"no cut: {exc}")
             else:
-                print(f"minimum vertex cut: {sorted(cut, key=str)}")
+                labels = [base.label_of(i) for i in cut]
+                print(f"minimum vertex cut: {sorted(labels, key=str)}")
     return 0
 
 
 def cmd_hierarchy(args: argparse.Namespace) -> int:
     """Print the k-VCC hierarchy levels; optionally persist the index."""
+    from repro.core.hierarchy import build_hierarchy, build_hierarchy_csr
     from repro.core.options import KVCCOptions
 
-    graph = read_edge_list(args.graph)
+    base = _load_base(args)
     options = KVCCOptions(backend=args.backend, workers=args.workers)
-    hierarchy = build_hierarchy(graph, max_k=args.max_k, options=options)
+    if args.backend == "csr":
+        hierarchy = build_hierarchy_csr(
+            base, max_k=args.max_k, options=options
+        )
+    else:
+        hierarchy = build_hierarchy(
+            base.to_graph(), max_k=args.max_k, options=options
+        )
     print(f"max level: {hierarchy.max_k}")
     for k in range(1, hierarchy.max_k + 1):
         comps = hierarchy.components_at(k)
@@ -160,11 +267,9 @@ def cmd_hierarchy(args: argparse.Namespace) -> int:
         for v in sorted(numbers, key=str):
             print(f"  vcc-number({v}) = {numbers[v]}")
     if args.save_index:
-        from repro.graph.csr import VertexInterner
         from repro.index import HierarchyIndex
 
-        interner = VertexInterner(graph.vertices())
-        index = HierarchyIndex.from_hierarchy(hierarchy, interner)
+        index = HierarchyIndex.from_hierarchy(hierarchy, base.interner)
         index.save(args.save_index)
         print(
             f"wrote {args.save_index} ({index.num_nodes} components, "
@@ -205,30 +310,147 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-def _dataset_spec(token: str):
-    """argparse type for serve datasets: ``name=path`` or a bare path.
+def _serve_spec(token: str):
+    """argparse type for serve datasets: ``name=target`` or a bare target.
 
-    A bare path serves under the file's stem, so
-    ``repro serve graphs/web.kvccidx`` exposes ``/v1/web/...``.
+    The target is either a saved ``.kvccidx`` file or (with
+    ``--build-missing``) any dataset token the resolver understands.  A
+    bare target serves under a derived name: the file's stem, or the
+    dataset's short name for ``name:``/``file:`` tokens.
+    """
+    name, sep, target = token.partition("=")
+    if not sep:
+        target = token
+        name = _spec_short_name(token)
+    if not name or not target:
+        raise argparse.ArgumentTypeError(
+            f"dataset spec must be 'name=target' or a target, got {token!r}"
+        )
+    return name, target
+
+
+def _spec_short_name(token: str) -> str:
+    """Derived serve name for a bare target: the index file's stem, or
+    the dataset's short name (``name:``/``file:``/path tokens alike,
+    with ``.txt``/``.csv``/``.gz`` suffixes stripped)."""
+    import os
+
+    from repro.data.resolver import Dataset
+
+    if token.startswith("name:"):
+        return Dataset(
+            spec=token, kind="name", source=token[len("name:") :]
+        ).name
+    path = token[len("file:") :] if token.startswith("file:") else token
+    if path.endswith(".kvccidx"):
+        return os.path.splitext(os.path.basename(path))[0]
+    return Dataset(spec=token, kind="file", source=path).name
+
+
+def _is_index_file(path: str) -> bool:
+    """True when ``path`` starts with the hierarchy-index magic."""
+    from repro.index.store import MAGIC
+
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def prepare_serve_datasets(
+    specs, build_missing: bool, cache_dir=None
+):
+    """Turn ``(name, target)`` serve specs into ``(name, index path)``.
+
+    An existing index file (``KVCCIDX`` magic) is served as-is.
+    Otherwise, with ``build_missing`` set, the target is resolved as a
+    dataset token, its hierarchy is built (cached CSR in, ``KVCCIDX``
+    out), and the index persists in the cache's ``indexes/`` tier keyed
+    by the dataset fingerprint - the next serve boot mmap-loads it
+    directly.
+
+    Raises
+    ------
+    ValueError
+        If a target neither is an index file nor can be materialized.
     """
     import os
 
-    name, sep, path = token.partition("=")
-    if not sep:
-        name, path = os.path.splitext(os.path.basename(token))[0], token
-    if not name or not path:
-        raise argparse.ArgumentTypeError(
-            f"dataset spec must be 'name=path' or a path, got {token!r}"
+    from repro.data import default_cache_dir, resolve_dataset
+
+    out = []
+    for name, target in specs:
+        if os.path.exists(target) and (
+            not build_missing or _is_index_file(target)
+        ):
+            out.append((name, target))
+            continue
+        if not build_missing:
+            raise ValueError(
+                f"no such index file: {target!r} (pass --build-missing "
+                f"to materialize it from a dataset token)"
+            )
+        from repro.index import HierarchyIndex, load_index
+        from repro.index.store import FORMAT_VERSION as _IDX_VERSION
+
+        dataset = resolve_dataset(target)
+        root = (
+            default_cache_dir() if cache_dir is None else cache_dir
         )
-    return name, path
+        index_dir = os.path.join(str(root), "indexes")
+        # The KVCCIDX format version is folded into the key so a format
+        # bump re-materializes instead of serving an unreadable file.
+        index_path = os.path.join(
+            index_dir,
+            f"{dataset.fingerprint(root)}-v{_IDX_VERSION}.kvccidx",
+        )
+        if os.path.exists(index_path):
+            try:
+                # O(header) mmap validation; a corrupt entry rebuilds.
+                load_index(index_path, mmap=True)
+            except ValueError:
+                os.remove(index_path)
+        if not os.path.exists(index_path):
+            import tempfile
+
+            from repro.core.hierarchy import build_hierarchy_csr
+
+            base = dataset.load(cache_dir=cache_dir)
+            hierarchy = build_hierarchy_csr(base)
+            index = HierarchyIndex.from_hierarchy(hierarchy, base.interner)
+            os.makedirs(index_dir, exist_ok=True)
+            # Unique tmp name: concurrent cold boots each write their
+            # own file and race only on the atomic rename.
+            fd, tmp = tempfile.mkstemp(
+                dir=index_dir, suffix=".kvccidx.tmp"
+            )
+            os.close(fd)
+            try:
+                index.save(tmp)
+                os.replace(tmp, index_path)
+            except OSError:
+                if os.path.exists(tmp):
+                    os.remove(tmp)
+                if not os.path.exists(index_path):
+                    raise
+        out.append((name, index_path))
+    return out
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the HTTP index-serving front end until interrupted."""
     from repro.service import IndexRegistry, create_server
 
+    try:
+        datasets = prepare_serve_datasets(
+            args.datasets, args.build_missing, args.cache_dir
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     registry = IndexRegistry(capacity=args.capacity, mmap=not args.eager)
-    for name, path in args.datasets:
+    for name, path in datasets:
         try:
             registry.register(name, path)
         except ValueError as exc:
@@ -244,8 +466,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         registry, host=args.host, port=args.port, quiet=not args.verbose
     )
     host, port = server.server_address[:2]
-    names = ", ".join(name for name, _ in args.datasets)
-    print(f"serving {len(args.datasets)} dataset(s) [{names}] "
+    names = ", ".join(name for name, _ in datasets)
+    print(f"serving {len(datasets)} dataset(s) [{names}] "
           f"on http://{host}:{port} "
           f"({'eager' if args.eager else 'mmap'} loads, "
           f"capacity {args.capacity}); Ctrl-C to stop")
@@ -275,8 +497,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("kvcc", help="enumerate k-VCCs of an edge list")
-    p.add_argument("graph", help="edge-list file (u v per line, # comments)")
+    p = sub.add_parser(
+        "kvcc", help="enumerate k-VCCs of a dataset",
+        epilog="examples: repro kvcc graph.txt -k 4; "
+        "repro kvcc name:youtube -k 8 (generated once, mmap-cached "
+        "thereafter); repro kvcc snap.txt.gz -k 5 --workers 4",
+    )
+    _add_dataset_args(p)
     p.add_argument("-k", type=int, required=True, help="connectivity threshold")
     p.add_argument(
         "--variant", choices=sorted(VARIANTS), default="VCCE*",
@@ -303,13 +530,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_kvcc)
 
     p = sub.add_parser("stats", help="print graph statistics")
-    p.add_argument("graph")
+    _add_dataset_args(p)
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser(
         "connectivity", help="vertex connectivity (whole graph or a pair)"
     )
-    p.add_argument("graph")
+    _add_dataset_args(p)
     p.add_argument("-u", help="first vertex of a pair query")
     p.add_argument("-v", help="second vertex of a pair query")
     p.add_argument(
@@ -320,11 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "hierarchy", help="k-VCC hierarchy across k",
-        epilog="examples: repro hierarchy graph.txt --max-k 6 --workers 4; "
-        "repro hierarchy graph.txt --save-index graph.kvccidx (then query "
-        "it with 'repro query')",
+        epilog="examples: repro hierarchy name:youtube --max-k 6 "
+        "--workers 4; repro hierarchy graph.txt --save-index "
+        "graph.kvccidx (then query it with 'repro query')",
     )
-    p.add_argument("graph")
+    _add_dataset_args(p)
     p.add_argument("--max-k", type=int, default=None)
     p.add_argument(
         "--vcc-numbers", action="store_true",
@@ -387,14 +614,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve", help="HTTP JSON service over saved hierarchy indexes",
-        epilog="examples: repro serve web=web.kvccidx --port 8716; then "
-        "curl 'http://127.0.0.1:8716/v1/web/vcc-number?v=42' or batch with "
+        epilog="examples: repro serve web=web.kvccidx --port 8716; "
+        "repro serve youtube=name:youtube --build-missing (hierarchy "
+        "built and cached on first boot); then curl "
+        "'http://127.0.0.1:8716/v1/web/vcc-number?v=42' or batch with "
         "repeated params: '...?v=1&v=2&v=3'",
     )
     p.add_argument(
-        "datasets", nargs="+", type=_dataset_spec, metavar="NAME=PATH",
-        help="one or more index files from 'hierarchy --save-index'; a "
-        "bare path serves under the file's stem",
+        "datasets", nargs="+", type=_serve_spec, metavar="NAME=TARGET",
+        help="one or more index files from 'hierarchy --save-index' - "
+        "or, with --build-missing, dataset tokens (path / file:PATH / "
+        "name:NAME) to materialize; a bare target serves under the "
+        "file's stem or the dataset's short name",
     )
     p.add_argument("--host", default="127.0.0.1", help="bind address")
     p.add_argument(
@@ -414,6 +645,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--preload", action="store_true",
         help="load every dataset up front instead of on first query, "
         "failing fast on unreadable files",
+    )
+    p.add_argument(
+        "--build-missing", action="store_true",
+        help="targets that are not existing index files are resolved "
+        "as dataset tokens; their hierarchy index is built once and "
+        "cached under the cache dir's indexes/ tier",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache root for --build-missing (default: $REPRO_CACHE_DIR "
+        "or ~/.cache/repro)",
     )
     p.add_argument(
         "--verbose", action="store_true",

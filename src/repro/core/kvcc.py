@@ -116,6 +116,48 @@ def enumerate_kvccs(
     return create_engine(options).run(work, k, options, stats)
 
 
+def enumerate_kvccs_csr(
+    base,
+    k: int,
+    options: Optional[KVCCOptions] = None,
+    stats: Optional[RunStats] = None,
+    materialize: bool = True,
+) -> list:
+    """All k-VCCs of an already-built :class:`~repro.graph.csr.CSRGraph`.
+
+    The entry point for graphs that never passed through a dict
+    :class:`Graph` - mmap-loaded ``KVCCG`` files, cached datasets, and
+    anything else :mod:`repro.data` hands out.  Runs the same engine as
+    :func:`enumerate_kvccs` on ``base.full_view()``.
+
+    ``materialize=False`` returns each k-VCC as its sorted member-id
+    list instead of a labeled :class:`Graph`, so the whole call builds
+    **no** dict adjacency at all (translate ids with
+    ``base.label_of``); this is what the CLI uses for cached datasets.
+
+    Examples
+    --------
+    >>> from repro.graph.csr import CSRGraph
+    >>> base, _ = CSRGraph.from_edges(
+    ...     [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 3), (3, 4)])
+    >>> enumerate_kvccs_csr(base, 3, materialize=False)
+    [[0, 1, 2, 3]]
+    """
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    options = options or KVCCOptions()
+    if options.backend != "csr":
+        raise ValueError(
+            f"enumerate_kvccs_csr requires backend='csr', got "
+            f"{options.backend!r}"
+        )
+    stats = stats if stats is not None else RunStats(k=k)
+    engine = create_engine(options)
+    return engine.run_many(
+        [base.full_view()], k, options, stats, materialize=materialize
+    )[0]
+
+
 def kvcc_vertex_sets(
     graph: Graph,
     k: int,

@@ -1,0 +1,52 @@
+"""Unified dataset layer: binary graph store, streaming ingest, cache.
+
+One import point for getting a mine-ready graph from any source::
+
+    from repro.data import load_graph_csr
+
+    base = load_graph_csr("name:youtube")       # synthetic stand-in
+    base = load_graph_csr("web-Stanford.txt.gz")  # SNAP download
+
+Submodules:
+
+* :mod:`repro.data.format` - the ``KVCCG`` versioned binary CSR format
+  (``CSRGraph.save`` / ``CSRGraph.load`` delegate here); mmap loads are
+  O(header);
+* :mod:`repro.data.ingest` - streaming edge-list parser (SNAP / CSV /
+  whitespace, plus ``.gz``) straight into CSR arrays, with per-file
+  int-or-str label normalization;
+* :mod:`repro.data.resolver` - the ``path`` / ``file:`` / ``name:``
+  token grammar and the content-addressed cache under
+  ``~/.cache/repro`` (``$REPRO_CACHE_DIR``).
+"""
+
+from repro.data.format import FORMAT_VERSION, MAGIC, load_csr, save_csr
+from repro.data.ingest import (
+    normalize_mixed_labels,
+    open_text,
+    read_edge_list_csr,
+)
+from repro.data.resolver import (
+    CACHE_DIR_ENV,
+    Dataset,
+    default_cache_dir,
+    load_graph,
+    load_graph_csr,
+    resolve_dataset,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "Dataset",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "default_cache_dir",
+    "load_csr",
+    "load_graph",
+    "load_graph_csr",
+    "normalize_mixed_labels",
+    "open_text",
+    "read_edge_list_csr",
+    "resolve_dataset",
+    "save_csr",
+]

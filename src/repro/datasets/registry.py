@@ -154,17 +154,26 @@ def dataset_names() -> List[str]:
 
 
 def load_dataset(name: str) -> Graph:
-    """Build (or fetch from the in-process cache) a stand-in by name.
+    """Build (or fetch from cache) a stand-in by name.
 
-    Returns a **copy** so callers may mutate freely; generation itself
-    happens once per process.
+    Returns a **copy** so callers may mutate freely.  Generation happens
+    at most once per *content*: the first load in any process goes
+    through the :mod:`repro.data` on-disk cache (a binary ``KVCCG``
+    file under ``~/.cache/repro`` keyed by the generator source), so
+    later processes mmap-load instead of re-running the generator; an
+    unwritable cache degrades to in-process generation.
     """
     if name not in DATASETS:
         raise KeyError(
             f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
         )
     if name not in _CACHE:
-        _CACHE[name] = DATASETS[name].build()
+        try:
+            from repro.data import load_graph
+
+            _CACHE[name] = load_graph(f"name:{name}")
+        except OSError:
+            _CACHE[name] = DATASETS[name].build()
     return _CACHE[name].copy()
 
 

@@ -42,7 +42,17 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.graph.graph import Graph, Vertex
 
@@ -125,27 +135,45 @@ class CSRGraph:
     [0, 2]
     """
 
-    __slots__ = ("n", "indptr", "indices", "rows", "interner")
+    __slots__ = ("n", "indptr", "indices", "_rows", "interner")
 
     def __init__(
         self,
         n: int,
-        indptr: array,
-        indices: array,
+        indptr: Sequence[int],
+        indices: Sequence[int],
         interner: Optional[VertexInterner] = None,
     ) -> None:
         self.n = n
+        #: ``indptr``/``indices`` are ``array('l')`` for graphs built in
+        #: process, or zero-copy ``memoryview.cast("i")`` sections over a
+        #: file mapping for graphs opened with ``load(path, mmap=True)``.
         self.indptr = indptr
         self.indices = indices
-        #: Per-vertex neighbor lists materialized once from the arrays.
-        #: Iterating a list is a C-level walk over already-boxed ints,
-        #: which the hot loops (BFS, peel, Theorem-8 scans) prefer over
-        #: repeatedly indexing the ``array`` (one int box per access).
-        self.rows: List[List[int]] = [
-            list(indices[indptr[i] : indptr[i + 1]]) for i in range(n)
-        ]
+        self._rows: Optional[List[List[int]]] = None
         #: Optional labels for the ids; ``None`` means ids are the labels.
         self.interner = interner
+
+    @property
+    def rows(self) -> List[List[int]]:
+        """Per-vertex neighbor lists, materialized once on first use.
+
+        Iterating a list is a C-level walk over already-boxed ints, which
+        the hot loops (BFS, peel, Theorem-8 scans) prefer over repeatedly
+        indexing the ``array`` (one int box per access).  Building them
+        lazily keeps ``load(path, mmap=True)`` at O(header): a process
+        that only serves a few queries - or ships the base to workers -
+        never pays the O(n + m) boxing pass.
+        """
+        rows = self._rows
+        if rows is None:
+            indptr, indices = self.indptr, self.indices
+            rows = [
+                list(indices[indptr[i] : indptr[i + 1]])
+                for i in range(self.n)
+            ]
+            self._rows = rows
+        return rows
 
     # ------------------------------------------------------------------
     # Construction
@@ -221,6 +249,13 @@ class CSRGraph:
     def degree(self, v: int) -> int:
         """Degree of ``v`` in the full graph (an indptr difference)."""
         return self.indptr[v + 1] - self.indptr[v]
+
+    def max_degree(self) -> int:
+        """Largest degree in the graph (0 when empty)."""
+        indptr = self.indptr
+        return max(
+            (indptr[i + 1] - indptr[i] for i in range(self.n)), default=0
+        )
 
     def neighbors(self, v: int) -> List[int]:
         """Neighbor ids of ``v`` as a fresh ascending list."""
@@ -318,9 +353,46 @@ class CSRGraph:
         graph._num_edges = num_edges // 2
         return graph
 
+    # ------------------------------------------------------------------
+    # Persistence (the KVCCG binary graph format, repro.data.format)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the graph as a versioned ``KVCCG`` binary file.
+
+        See :mod:`repro.data.format` for the layout; labels (when an
+        interner is attached) must be JSON scalars.
+        """
+        from repro.data.format import save_csr
+
+        save_csr(self, path)
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "CSRGraph":
+        """Read a graph written by :meth:`save`.
+
+        ``mmap=True`` (the default) maps the file and exposes the int32
+        sections as zero-copy views, so a cold process is mine-ready in
+        O(header); ``mmap=False`` parses everything into ``array``
+        objects up front.  Wrong magic, wrong format version, and
+        truncation raise ``ValueError``.
+        """
+        from repro.data.format import load_csr
+
+        return load_csr(path, mmap=mmap)
+
     def __getstate__(self):
-        """Pickle only the defining arrays; ``rows`` is derived."""
-        return (self.n, self.indptr, self.indices, self.interner)
+        """Pickle only the defining arrays; ``rows`` is derived.
+
+        Mmap-backed memoryview sections are materialized into plain
+        arrays first - a pickle must not depend on the mapping staying
+        open on the receiving side.
+        """
+        indptr, indices = self.indptr, self.indices
+        if not isinstance(indptr, array):
+            indptr = array("l", indptr)
+        if not isinstance(indices, array):
+            indices = array("l", indices)
+        return (self.n, indptr, indices, self.interner)
 
     def __setstate__(self, state) -> None:
         n, indptr, indices, interner = state

@@ -8,6 +8,18 @@ exists so a user *with* the real files can reproduce on them directly::
 
     from repro.graph import read_snap_file
     g = read_snap_file("web-Stanford.txt")
+
+``.gz`` paths are decompressed transparently.  For large inputs prefer
+:func:`read_edge_list_csr` (the streaming CSR reader from
+:mod:`repro.data.ingest`) or, better, the cached loader
+:func:`repro.data.load_graph_csr`, which parses once and mmap-loads a
+binary ``KVCCG`` file thereafter.
+
+Vertex labels are normalized per file to all-int or all-str (see
+:func:`repro.data.ingest.normalize_mixed_labels`): a file mixing
+numeric and alphanumeric ids yields uniformly-string labels, so
+downstream ``sorted()`` over any vertex set cannot raise a mixed-type
+``TypeError``.
 """
 
 from __future__ import annotations
@@ -27,10 +39,12 @@ def read_edge_list(
 ) -> Graph:
     """Read a whitespace-separated edge list into a :class:`Graph`.
 
-    Vertices are parsed as ``int`` when possible, else kept as strings.
-    Self loops are skipped (the library's graphs are simple); for
-    ``directed`` inputs each arc is added as an undirected edge, which is
-    how the paper treats the directed SNAP web/citation graphs.
+    Vertices are parsed as ``int`` when possible, else kept as strings;
+    if a file mixes both, every int label is converted to its string
+    form so the finished label set is uniformly orderable.  Self loops
+    are skipped (the library's graphs are simple); for ``directed``
+    inputs each arc is added as an undirected edge, which is how the
+    paper treats the directed SNAP web/citation graphs.
 
     Parameters
     ----------
@@ -41,19 +55,10 @@ def read_edge_list(
         because :class:`Graph` is undirected.
     """
     del directed  # symmetrization is implicit for an undirected Graph
-    g = Graph()
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line or line.startswith(comment):
-                continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise ValueError(f"malformed edge line: {line!r}")
-            u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
-            if u != v:
-                g.add_edge(u, v)
-    return g
+    from repro.data.ingest import open_text
+
+    with open_text(path) as handle:
+        return graph_from_lines(handle, comment=comment)
 
 
 def read_snap_file(path: PathLike) -> Graph:
@@ -64,27 +69,15 @@ def read_snap_file(path: PathLike) -> Graph:
 def read_edge_list_csr(path: PathLike, comment: str = "#"):
     """Read an edge list straight into the CSR backend.
 
-    The boundary constructor for large inputs: labels are interned to
-    dense ids as they stream by, and no dict-of-sets graph is built.
-    Returns ``(csr, interner)`` - see
-    :meth:`repro.graph.csr.CSRGraph.from_edges`.
+    The boundary constructor for large inputs: one streaming pass,
+    labels interned to dense ids as they go by, adjacency assembled by
+    counting sort - no dict-of-sets graph is ever built.  Returns
+    ``(csr, interner)``; see :mod:`repro.data.ingest` for the dialect
+    and label-normalization rules.
     """
-    from repro.graph.csr import CSRGraph
+    from repro.data.ingest import read_edge_list_csr as _read
 
-    def _edges():
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line or line.startswith(comment):
-                    continue
-                parts = line.split()
-                if len(parts) < 2:
-                    raise ValueError(f"malformed edge line: {line!r}")
-                u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
-                if u != v:
-                    yield (u, v)
-
-    return CSRGraph.from_edges(_edges())
+    return _read(path, comment=comment)
 
 
 def write_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
@@ -100,7 +93,11 @@ def write_edge_list(graph: Graph, path: PathLike, header: bool = True) -> None:
 
 
 def graph_from_lines(lines: Iterable[str], comment: str = "#") -> Graph:
-    """Parse an in-memory iterable of edge-list lines (used by tests)."""
+    """Parse an iterable of edge-list lines (strings) into a ``Graph``.
+
+    Applies the same per-file all-int-or-all-str label normalization as
+    :func:`read_edge_list`.
+    """
     g = Graph()
     for line in lines:
         line = line.strip()
@@ -112,7 +109,30 @@ def graph_from_lines(lines: Iterable[str], comment: str = "#") -> Graph:
         u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
         if u != v:
             g.add_edge(u, v)
-    return g
+    return _normalize_graph_labels(g)
+
+
+def _normalize_graph_labels(g: Graph) -> Graph:
+    """Apply the shared per-file label rule to a parsed ``Graph``.
+
+    Delegates the all-int-or-all-str decision to
+    :func:`repro.data.ingest.normalize_mixed_labels` - inspecting only
+    the vertices that actually made it into the graph, exactly like the
+    CSR ingest path, so both readers type a given file identically.
+    Insertion order is preserved; no collision is possible (a string
+    label can never itself be a decimal literal).
+    """
+    from repro.data.ingest import normalize_mixed_labels
+
+    vertices = list(g.vertices())
+    labels, rewritten = normalize_mixed_labels(vertices)
+    if not rewritten:
+        return g
+    rename = dict(zip(vertices, labels))
+    out = Graph(vertices=labels)
+    for u, v in g.edges():
+        out.add_edge(rename[u], rename[v])
+    return out
 
 
 def edges_to_lines(edges: Iterable[Edge]) -> Iterable[str]:

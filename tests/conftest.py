@@ -16,6 +16,8 @@ because ``conftest`` is not a uniquely importable module name.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.graph.generators import (
@@ -24,6 +26,26 @@ from repro.graph.generators import (
     ring_of_cliques,
 )
 from repro.graph.graph import Graph
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_repro_cache(tmp_path_factory):
+    """Pin the repro.data graph cache to a per-session temp directory.
+
+    ``registry.load_dataset`` (and anything else going through
+    ``repro.data``) writes content-addressed cache files; without this
+    the suite would populate the user's real ``~/.cache/repro`` and
+    golden tests would depend on mutable state outside the checkout.
+    Individual tests still override via monkeypatch / ``cache_dir``.
+    """
+    path = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -181,3 +181,229 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+class TestDatasetTokens:
+    """Every graph command speaks the resolver grammar (repro.data)."""
+
+    def test_kvcc_name_token(self, cache_dir, capsys):
+        assert main(
+            ["kvcc", "name:youtube", "-k", "8", "--cache-dir", cache_dir]
+        ) == 0
+        assert "5 8-VCC(s)" in capsys.readouterr().out  # golden count
+
+    def test_stats_name_token(self, cache_dir, capsys):
+        assert main(
+            ["stats", "name:youtube", "--cache-dir", cache_dir]
+        ) == 0
+        assert "vertices:   1040" in capsys.readouterr().out
+
+    def test_file_token(self, graph_file, cache_dir, capsys):
+        assert main(
+            ["kvcc", f"file:{graph_file}", "-k", "4",
+             "--cache-dir", cache_dir]
+        ) == 0
+        assert "4 4-VCC(s)" in capsys.readouterr().out
+
+    def test_gz_file(self, graph_file, tmp_path, cache_dir, capsys):
+        import gzip
+        import shutil
+
+        gz = tmp_path / "figure1.txt.gz"
+        with open(graph_file, "rb") as src, gzip.open(gz, "wb") as dst:
+            shutil.copyfileobj(src, dst)
+        assert main(
+            ["kvcc", str(gz), "-k", "4", "--cache-dir", cache_dir]
+        ) == 0
+        assert "4 4-VCC(s)" in capsys.readouterr().out
+
+    def test_unknown_name_clean_error(self, cache_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["stats", "name:snapchat", "--cache-dir", cache_dir])
+        assert "available" in capsys.readouterr().err
+
+    def test_missing_file_clean_error(self, tmp_path, cache_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["stats", str(tmp_path / "gone.txt"),
+                 "--cache-dir", cache_dir]
+            )
+        assert "no such graph file" in capsys.readouterr().err
+
+    def test_mixed_label_numeric_vertex_reachable(
+        self, tmp_path, cache_dir, capsys
+    ):
+        """Regression: after per-file normalization a numeric token must
+        still resolve (the label is '1', the CLI token parses as 1)."""
+        path = tmp_path / "mixed.txt"
+        path.write_text("a 1\n1 2\n2 a\n")
+        assert main(
+            ["connectivity", str(path), "-u", "1", "-v", "a",
+             "--cache-dir", cache_dir]
+        ) == 0
+        assert "kappa(1, a) = inf" in capsys.readouterr().out
+
+    def test_unknown_pair_vertex_clean_error(
+        self, graph_file, cache_dir, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main(
+                ["connectivity", graph_file, "-u", "0", "-v", "zzz",
+                 "--cache-dir", cache_dir]
+            )
+
+    def test_warm_cache_reused(self, graph_file, cache_dir, capsys):
+        assert main(
+            ["stats", graph_file, "--cache-dir", cache_dir]
+        ) == 0
+        from pathlib import Path
+
+        entries = list(Path(cache_dir).glob("graphs/*.kvccg"))
+        assert len(entries) == 1
+        stamp = entries[0].stat().st_mtime_ns
+        assert main(
+            ["stats", graph_file, "--cache-dir", cache_dir]
+        ) == 0
+        assert entries[0].stat().st_mtime_ns == stamp
+
+    def test_no_cache_leaves_no_entry(self, graph_file, cache_dir, capsys):
+        assert main(
+            ["stats", graph_file, "--cache-dir", cache_dir, "--no-cache"]
+        ) == 0
+        from pathlib import Path
+
+        assert not Path(cache_dir).exists()
+
+
+class TestNoDictGraphOnHotPath:
+    """Acceptance: with a CSR-cached dataset, no subcommand builds a
+    dict ``Graph`` - asserted by making ``Graph.__init__`` explode."""
+
+    @pytest.fixture
+    def primed(self, graph_file, cache_dir):
+        # Prime the cache (the cold parse itself is already dict-free
+        # for files, but priming keeps the assertion about the *hot*
+        # path honest).
+        assert main(["stats", graph_file, "--cache-dir", cache_dir]) == 0
+        return graph_file, cache_dir
+
+    @pytest.fixture
+    def forbid_graph(self, monkeypatch):
+        from repro.graph.graph import Graph
+
+        def boom(self, *args, **kwargs):
+            raise AssertionError(
+                "dict Graph constructed on the CSR hot path"
+            )
+
+        monkeypatch.setattr(Graph, "__init__", boom)
+
+    def test_kvcc(self, primed, forbid_graph, capsys):
+        graph_file, cache_dir = primed
+        assert main(
+            ["kvcc", graph_file, "-k", "4", "--cache-dir", cache_dir]
+        ) == 0
+        assert "4 4-VCC(s)" in capsys.readouterr().out
+
+    def test_stats(self, primed, forbid_graph, capsys):
+        graph_file, cache_dir = primed
+        assert main(
+            ["stats", graph_file, "--cache-dir", cache_dir]
+        ) == 0
+        assert "vertices:   21" in capsys.readouterr().out
+
+    def test_connectivity(self, primed, forbid_graph, capsys):
+        graph_file, cache_dir = primed
+        assert main(
+            ["connectivity", graph_file, "--cache-dir", cache_dir,
+             "--show-cut"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "kappa(G) = 1" in out
+        assert "minimum vertex cut: [9]" in out
+
+    def test_connectivity_pair(self, primed, forbid_graph, capsys):
+        graph_file, cache_dir = primed
+        assert main(
+            ["connectivity", graph_file, "-u", "0", "-v", "1",
+             "--cache-dir", cache_dir]
+        ) == 0
+        assert "kappa(0, 1) = inf" in capsys.readouterr().out
+
+    def test_hierarchy(self, primed, forbid_graph, tmp_path, capsys):
+        graph_file, cache_dir = primed
+        index_file = tmp_path / "g.kvccidx"
+        assert main(
+            ["hierarchy", graph_file, "--max-k", "4",
+             "--cache-dir", cache_dir, "--save-index", str(index_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "k=4: 4 component(s)" in out
+        assert index_file.exists()
+
+
+class TestServeBuildMissing:
+    def test_materializes_index_from_dataset_token(
+        self, graph_file, cache_dir
+    ):
+        from repro.cli import prepare_serve_datasets
+
+        specs = [("fig1", graph_file)]
+        resolved = prepare_serve_datasets(
+            specs, build_missing=True, cache_dir=cache_dir
+        )
+        (name, index_path), = resolved
+        assert name == "fig1"
+        from repro.index import load_index
+
+        index = load_index(index_path)
+        assert index.num_vertices == 21
+        assert index.max_k == 5
+        # Second boot reuses the cached index file.
+        again = prepare_serve_datasets(
+            specs, build_missing=True, cache_dir=cache_dir
+        )
+        assert again == resolved
+
+    def test_corrupt_cached_index_rebuilt(self, graph_file, cache_dir):
+        """A bit-rotted indexes/ entry is rebuilt, not served stale."""
+        from pathlib import Path
+
+        from repro.cli import prepare_serve_datasets
+        from repro.index import load_index
+
+        specs = [("fig1", graph_file)]
+        (_, index_path), = prepare_serve_datasets(
+            specs, build_missing=True, cache_dir=cache_dir
+        )
+        Path(index_path).write_bytes(b"rotten bytes, not an index")
+        (_, again_path), = prepare_serve_datasets(
+            specs, build_missing=True, cache_dir=cache_dir
+        )
+        assert again_path == index_path
+        assert load_index(again_path).num_vertices == 21
+
+    def test_existing_index_served_as_is(self, graph_file, tmp_path):
+        index_file = tmp_path / "g.kvccidx"
+        assert main(
+            ["hierarchy", graph_file, "--save-index", str(index_file)]
+        ) == 0
+        from repro.cli import prepare_serve_datasets
+
+        assert prepare_serve_datasets(
+            [("g", str(index_file))], build_missing=True
+        ) == [("g", str(index_file))]
+
+    def test_missing_without_flag_raises(self, tmp_path):
+        from repro.cli import prepare_serve_datasets
+
+        with pytest.raises(ValueError, match="--build-missing"):
+            prepare_serve_datasets(
+                [("gone", str(tmp_path / "gone.kvccidx"))],
+                build_missing=False,
+            )

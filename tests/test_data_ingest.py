@@ -1,0 +1,163 @@
+"""Tests for the streaming edge-list -> CSR ingest (repro.data.ingest)."""
+
+import gzip
+
+import pytest
+
+from repro.data.ingest import (
+    normalize_mixed_labels,
+    read_edge_list_csr,
+)
+from repro.graph.graph import Graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def _write(tmp_path, text, name="g.txt"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestDialects:
+    def test_whitespace(self, tmp_path):
+        csr, interner = read_edge_list_csr(
+            _write(tmp_path, "0 1\n1 2\n")
+        )
+        assert csr.num_edges == 2
+        assert interner.labels == [0, 1, 2]
+
+    def test_tabs_and_comments(self, tmp_path):
+        csr, _ = read_edge_list_csr(
+            _write(tmp_path, "# header\n\n0\t1\n# mid\n1\t2\n")
+        )
+        assert csr.num_edges == 2
+
+    def test_csv(self, tmp_path):
+        csr, interner = read_edge_list_csr(
+            _write(tmp_path, "# c\n0,1\n1, 2\n2,0\n", "g.csv")
+        )
+        assert csr.num_edges == 3
+        assert interner.labels == [0, 1, 2]
+
+    def test_csv_header_row_skipped(self, tmp_path):
+        """'source,target' headers are not an edge and must not force
+        string normalization onto the numeric ids."""
+        csr, interner = read_edge_list_csr(
+            _write(tmp_path, "source,target\n1,2\n2,3\n", "g.csv")
+        )
+        assert csr.num_edges == 2
+        assert interner.labels == [1, 2, 3]
+
+    def test_csv_header_only_first_line(self, tmp_path):
+        """A literal 'u v'-named vertex later in the file is kept."""
+        csr, interner = read_edge_list_csr(
+            _write(tmp_path, "src,dst\na,b\nu,a\n", "g.csv")
+        )
+        assert interner.labels == ["a", "b", "u"]
+        assert csr.num_edges == 2
+
+    def test_gzip(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1\n1 2\n2 0\n")
+        csr, _ = read_edge_list_csr(path)
+        assert csr.num_edges == 3
+
+    def test_self_loops_skipped(self, tmp_path):
+        csr, _ = read_edge_list_csr(_write(tmp_path, "0 0\n0 1\n"))
+        assert csr.num_edges == 1
+
+    def test_duplicates_and_reverse_merge(self, tmp_path):
+        csr, _ = read_edge_list_csr(
+            _write(tmp_path, "0 1\n1 0\n0 1\n1 2\n")
+        )
+        assert csr.num_edges == 2
+
+    def test_malformed_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="malformed"):
+            read_edge_list_csr(_write(tmp_path, "0 1\njustone\n"))
+
+
+class TestParity:
+    """The streaming reader must agree with the dict-Graph reader."""
+
+    def test_against_read_edge_list(self, tmp_path):
+        from repro.graph.generators import web_graph
+
+        path = tmp_path / "web.txt"
+        write_edge_list(web_graph(200, seed=11), path)
+        csr, _ = read_edge_list_csr(path)
+        assert csr.to_graph() == read_edge_list(path)
+
+    def test_against_from_edges(self, tmp_path):
+        """Same file, same interner order, bit-identical arrays."""
+        from repro.graph.csr import CSRGraph
+
+        path = _write(
+            tmp_path, "5 3\n3 9\n9 5\nalpha 5\nbeta alpha\n5 beta\n"
+        )
+
+        def edges():
+            for line in path.read_text().splitlines():
+                u, v = line.split()
+                yield (u, v)  # all-str here: the file mixes types
+
+        csr, interner = read_edge_list_csr(path)
+        ref, refint = CSRGraph.from_edges(
+            (str(u), str(v)) for u, v in edges()
+        )
+        assert interner.labels == refint.labels
+        assert list(csr.indptr) == list(ref.indptr)
+        assert list(csr.indices) == list(ref.indices)
+
+
+class TestLabelNormalization:
+    def test_all_int_file(self, tmp_path):
+        _, interner = read_edge_list_csr(_write(tmp_path, "10 20\n20 30\n"))
+        assert interner.labels == [10, 20, 30]
+
+    def test_all_str_file(self, tmp_path):
+        _, interner = read_edge_list_csr(_write(tmp_path, "a b\nb c\n"))
+        assert interner.labels == ["a", "b", "c"]
+
+    def test_mixed_file_becomes_all_str(self, tmp_path):
+        _, interner = read_edge_list_csr(_write(tmp_path, "1 2\n2 x\n"))
+        assert interner.labels == ["1", "2", "x"]
+        sorted(interner.labels)  # uniformly orderable
+
+    def test_normalize_helper(self):
+        labels, rewritten = normalize_mixed_labels([1, "a", 2])
+        assert labels == ["1", "a", "2"] and rewritten
+        labels, rewritten = normalize_mixed_labels([1, 2, 3])
+        assert labels == [1, 2, 3] and not rewritten
+
+    def test_read_edge_list_matches(self, tmp_path):
+        """Dict and CSR readers agree on the normalized labels."""
+        path = _write(tmp_path, "1 2\n2 x\nx 1\n")
+        g = read_edge_list(path)
+        csr, interner = read_edge_list_csr(path)
+        assert set(g.vertices()) == set(interner.labels)
+        assert csr.to_graph() == g
+
+    def test_skipped_self_loop_does_not_force_normalization(
+        self, tmp_path
+    ):
+        """Only labels that survive into the graph count: a dropped
+        'a a' self loop must not stringify the numeric ids - and both
+        readers must agree on the result."""
+        path = _write(tmp_path, "1 2\na a\n")
+        g = read_edge_list(path)
+        _, interner = read_edge_list_csr(path)
+        assert sorted(g.vertices()) == [1, 2]
+        assert interner.labels == [1, 2]
+
+
+class TestIsolatedVertexSemantics:
+    def test_vertex_only_in_self_loop_still_counted(self, tmp_path):
+        """Matches Graph semantics: a self loop adds no edge, and the
+        streaming reader skips the line before interning."""
+        csr, interner = read_edge_list_csr(_write(tmp_path, "7 7\n0 1\n"))
+        # read_edge_list drops 7 too (add_edge never runs for it).
+        g = Graph()
+        g.add_edge(0, 1)
+        assert csr.to_graph() == g

@@ -17,6 +17,7 @@ import repro.core.hierarchy
 import repro.core.ksweep
 import repro.core.kvcc
 import repro.core.options
+import repro.data
 import repro.graph.csr
 import repro.graph.graph
 import repro.graph.io
@@ -34,9 +35,10 @@ MODULES = [
     repro.core.hierarchy,
     repro.index,
     repro.service,
+    repro.data,
 ]
-# Every module of the serving-path packages, present and future.
-for package in (repro.index, repro.service):
+# Every module of the data/serving-path packages, present and future.
+for package in (repro.index, repro.service, repro.data):
     MODULES += [
         importlib.import_module(info.name)
         for info in pkgutil.walk_packages(
@@ -60,4 +62,7 @@ def test_index_package_is_collected():
         "repro.service.registry",
         "repro.service.handlers",
         "repro.service.server",
+        "repro.data.format",
+        "repro.data.ingest",
+        "repro.data.resolver",
     } <= names

@@ -37,10 +37,32 @@ class TestParsing:
         g = graph_from_lines(["alice bob"])
         assert g.has_edge("alice", "bob")
 
-    def test_mixed_tokens_parse_ints(self):
+    def test_mixed_tokens_normalize_to_strings(self):
+        """A file mixing numeric and alphanumeric ids yields all-str
+        labels, so downstream ``sorted()`` cannot raise TypeError."""
         g = graph_from_lines(["1 2", "2 x"])
-        assert g.has_edge(1, 2)
-        assert g.has_edge(2, "x")
+        assert g.has_edge("1", "2")
+        assert g.has_edge("2", "x")
+        assert sorted(g.vertices()) == ["1", "2", "x"]
+
+    def test_all_int_tokens_stay_ints(self):
+        g = graph_from_lines(["1 2", "2 3"])
+        assert sorted(g.vertices()) == [1, 2, 3]
+
+    def test_mixed_labels_sortable_downstream(self, tmp_path):
+        """Regression: enumeration leaves over a mixed-id file must be
+        sortable (previously sorted() over int+str labels raised)."""
+        from repro.core.kvcc import kvcc_vertex_sets
+        from repro.graph.io import read_edge_list
+
+        path = tmp_path / "mixed.txt"
+        path.write_text(
+            "a 1\na 2\n1 2\na 3\n1 3\n2 3\nb 1\nb 2\n"
+        )
+        g = read_edge_list(path)
+        for comp in kvcc_vertex_sets(g, 2):
+            sorted(comp)  # must not raise TypeError
+        assert all(isinstance(v, str) for v in g.vertices())
 
     def test_tab_separated(self):
         g = graph_from_lines(["0\t1", "1\t2"])

@@ -404,27 +404,37 @@ class TestHttpServer:
 
 
 class TestServeCli:
-    def test_dataset_spec_named(self):
-        from repro.cli import _dataset_spec
+    def test_serve_spec_named(self):
+        from repro.cli import _serve_spec
 
-        assert _dataset_spec("web=/tmp/web.kvccidx") == (
+        assert _serve_spec("web=/tmp/web.kvccidx") == (
             "web", "/tmp/web.kvccidx"
         )
 
-    def test_dataset_spec_bare_path(self):
-        from repro.cli import _dataset_spec
+    def test_serve_spec_bare_path(self):
+        from repro.cli import _serve_spec
 
-        assert _dataset_spec("graphs/web.kvccidx") == (
+        assert _serve_spec("graphs/web.kvccidx") == (
             "web", "graphs/web.kvccidx"
         )
 
-    def test_dataset_spec_invalid(self):
+    def test_serve_spec_bare_dataset_token(self):
+        from repro.cli import _serve_spec
+
+        assert _serve_spec("name:youtube") == ("youtube", "name:youtube")
+        assert _serve_spec("file:graphs/web.txt.gz") == (
+            "web", "file:graphs/web.txt.gz"
+        )
+        # Bare edge-list paths strip the full .txt.gz suffix chain too.
+        assert _serve_spec("ring.txt.gz") == ("ring", "ring.txt.gz")
+
+    def test_serve_spec_invalid(self):
         import argparse
 
-        from repro.cli import _dataset_spec
+        from repro.cli import _serve_spec
 
         with pytest.raises(argparse.ArgumentTypeError):
-            _dataset_spec("=path")
+            _serve_spec("=path")
 
     def test_parser_wiring(self, ring_path):
         args = build_parser().parse_args(
@@ -441,7 +451,7 @@ class TestServeCli:
              "--port", "0"]
         )
         assert code == 2
-        assert "cannot load" in capsys.readouterr().err
+        assert "no such index file" in capsys.readouterr().err
 
     def test_preload_corrupt_file_fails_fast(self, tmp_path, capsys):
         bad = tmp_path / "bad.kvccidx"
