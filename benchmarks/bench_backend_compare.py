@@ -35,8 +35,10 @@ import json
 import os
 import time
 
+import repro.kernels as kernels
 from repro.core.kvcc import enumerate_kvccs
 from repro.core.options import KVCCOptions
+from repro.core.stats import RunStats
 from repro.graph.core_decomposition import peel_in_place
 from repro.graph.generators import (
     assemble_communities,
@@ -44,6 +46,15 @@ from repro.graph.generators import (
     web_graph,
 )
 from repro.graph.graph import Graph
+
+#: Stage keys reported by ``RunStats.stage_seconds`` (see
+#: ``repro.core.stats``); missing stages report as 0.0.
+STAGES = ("peel", "certificate", "flow")
+
+#: Committed PR-5 snapshot the kernel gate diffs against.
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_baseline.json"
+)
 
 
 def _mid_size_graph(quick: bool) -> Graph:
@@ -75,15 +86,66 @@ def bench_peel(graph: Graph, k: int, repeats: int) -> tuple:
 
 
 def bench_enumerate(graph: Graph, k: int, repeats: int) -> tuple:
+    """Returns ``(t_dict, t_csr, stages)``.
+
+    ``stages`` is the per-stage wall-clock breakdown (``peel`` /
+    ``certificate`` / ``flow``, in seconds) of the *fastest* CSR repeat,
+    so the attribution matches the reported total rather than a noisier
+    slow run.
+    """
     dict_opts = KVCCOptions(backend="dict")
     csr_opts = KVCCOptions(backend="csr")
 
     t_dict = _time(lambda: enumerate_kvccs(graph, k, dict_opts), repeats)
-    t_csr = _time(lambda: enumerate_kvccs(graph, k, csr_opts), repeats)
+
+    t_csr = float("inf")
+    stages = {stage: 0.0 for stage in STAGES}
+    for _ in range(repeats):
+        stats = RunStats(k=k)
+        start = time.perf_counter()
+        enumerate_kvccs(graph, k, csr_opts, stats)
+        elapsed = time.perf_counter() - start
+        if elapsed < t_csr:
+            t_csr = elapsed
+            for stage in STAGES:
+                stages[stage] = stats.stage_seconds.get(stage, 0.0)
+
     n_dict = len(enumerate_kvccs(graph, k, dict_opts))
     n_csr = len(enumerate_kvccs(graph, k, csr_opts))
     assert n_dict == n_csr, f"backends disagree: {n_dict} != {n_csr}"
-    return t_dict, t_csr
+    return t_dict, t_csr, stages
+
+
+def bench_kernels(graph: Graph, k: int, repeats: int) -> dict:
+    """Serial CSR enumerate per kernel implementation, interleaved.
+
+    Alternating the kernels inside one loop (rather than timing each in
+    a block) spreads machine noise evenly over both, which matters
+    because the baseline gate compares these numbers against a committed
+    snapshot.  Returns ``{kernel_name: best_seconds}``.
+    """
+    opts = KVCCOptions(backend="csr")
+    names = list(kernels.available())
+    best = {name: float("inf") for name in names}
+    counts = {}
+    for _ in range(repeats):
+        for name in names:
+            with kernels.use(name):
+                start = time.perf_counter()
+                out = enumerate_kvccs(graph, k, opts)
+                best[name] = min(best[name], time.perf_counter() - start)
+            counts[name] = len(out)
+    assert len(set(counts.values())) <= 1, f"kernels disagree: {counts}"
+    return best
+
+
+def load_baseline() -> dict:
+    """The committed PR-5 metric snapshot ({} when absent)."""
+    try:
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return {}
 
 
 def bench_parallel(graph: Graph, k: int, workers: int, repeats: int) -> tuple:
@@ -140,9 +202,13 @@ def main() -> int:
         "--json", metavar="PATH", default="",
         help="also write the measured metrics as machine-readable JSON",
     )
+    parser.add_argument(
+        "--parallel-only", action="store_true",
+        help="run (and gate) only the sharded-workload parallel bar - "
+        "the cpu-count-gated CI job's mode",
+    )
     args = parser.parse_args()
 
-    graph = _mid_size_graph(args.quick)
     k = args.k if args.k is not None else 5
     repeats = 1 if args.quick else 3
 
@@ -157,6 +223,42 @@ def main() -> int:
             "k": k,
         }
 
+    def flush_json() -> None:
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(metrics, handle, indent=2, sort_keys=True)
+            print(f"wrote {len(metrics)} metric(s) to {args.json}")
+
+    workers = args.workers
+    cpus = os.cpu_count() or 1
+
+    if args.parallel_only:
+        # The CI parallel job's mode: only the fan-out-friendly sharded
+        # workload, gated on machines where parallelism is possible.
+        sharded = _sharded_graph(args.quick)
+        t_ser2, t_par2 = bench_parallel(sharded, k, workers, repeats)
+        shard_speedup = t_ser2 / t_par2
+        print(
+            f"engine (k={k}, sharded n={sharded.num_vertices} "
+            f"m={sharded.num_edges}): serial {t_ser2 * 1e3:8.1f} ms   "
+            f"pool{workers} {t_par2 * 1e3:8.1f} ms   "
+            f"speedup {shard_speedup:5.2f}x"
+        )
+        record("engine_sharded_speedup", shard_speedup, "x",
+               sharded.num_vertices)
+        flush_json()
+        if cpus < 2:
+            print(f"  note: {cpus} CPU exposed - bar not applicable")
+            return 0
+        if not args.quick and shard_speedup < 1.5:
+            print(
+                "WARNING: parallel speedup below the 1.5x acceptance "
+                "bar on the sharded workload"
+            )
+            return 1
+        return 0
+
+    graph = _mid_size_graph(args.quick)
     print(
         f"graph: web_graph n={graph.num_vertices} "
         f"m={graph.num_edges}, k={k}, best of {repeats}"
@@ -175,7 +277,7 @@ def main() -> int:
     record("peel_csr_ms", t_csr * 1e3, "ms", graph.num_vertices)
     record("peel_speedup", t_dict / t_csr, "x", graph.num_vertices)
 
-    t_dict, t_csr = bench_enumerate(graph, k, repeats)
+    t_dict, t_csr, stages = bench_enumerate(graph, k, repeats)
     speedup = t_dict / t_csr
     print(
         f"enumerate (k={k}):    dict {t_dict * 1e3:8.1f} ms   "
@@ -185,9 +287,32 @@ def main() -> int:
     record("enumerate_csr_ms", t_csr * 1e3, "ms", graph.num_vertices)
     record("enumerate_speedup", speedup, "x", graph.num_vertices)
 
+    # Per-stage attribution of the fastest CSR run (kernel wins show up
+    # as movement in exactly one of these rows).
+    stage_line = "   ".join(
+        f"{stage} {stages[stage] * 1e3:7.1f} ms" for stage in STAGES
+    )
+    print(f"  stages (csr, k={k}, kernel={kernels.active_name()}): "
+          f"{stage_line}")
+    for stage in STAGES:
+        record(f"stage_{stage}_ms", stages[stage] * 1e3, "ms",
+               graph.num_vertices)
+
+    # Kernel rows: the same serial CSR enumerate, pinned per kernel.
+    # More repeats than the backend rows because the baseline gate
+    # below compares these against a committed snapshot and the bar is
+    # tight relative to machine noise.
+    kernel_repeats = repeats if args.quick else max(repeats, 9)
+    kernel_best = bench_kernels(graph, k, kernel_repeats)
+    for name, seconds in kernel_best.items():
+        print(
+            f"enumerate csr[{name}] (k={k}, best of {kernel_repeats}): "
+            f"{seconds * 1e3:8.1f} ms"
+        )
+        record(f"enumerate_csr_{name}_ms", seconds * 1e3, "ms",
+               graph.num_vertices)
+
     # Serial-vs-parallel column (same CSR backend, engine differs).
-    workers = args.workers
-    cpus = os.cpu_count() or 1
     t_ser, t_par = bench_parallel(graph, k, workers, repeats)
     par_speedup = t_ser / t_par
     print(
@@ -223,20 +348,18 @@ def main() -> int:
         # Secondary series: a partition-heavy shape (many small parts,
         # worst case for mask-based views) to keep the comparison honest.
         ring = ring_of_cliques(num_cliques=60, clique_size=12)
-        t_dict2, t_csr2 = bench_enumerate(ring, 6, repeats)
+        t_dict2, t_csr2, _ = bench_enumerate(ring, 6, repeats)
         print(
             f"enumerate ring60x12 (k=6): dict {t_dict2 * 1e3:8.1f} ms   "
             f"csr {t_csr2 * 1e3:8.1f} ms   speedup {t_dict2 / t_csr2:5.2f}x"
         )
 
-    if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(metrics, handle, indent=2, sort_keys=True)
-        print(f"wrote {len(metrics)} metric(s) to {args.json}")
+    flush_json()
 
+    failed = False
     if not args.quick and speedup < 1.5:
         print("WARNING: CSR speedup below the 1.5x acceptance bar")
-        return 1
+        failed = True
     if not args.quick and cpus >= 2 and shard_speedup < 1.5:
         # The parallel bar only applies where parallelism is possible;
         # on a single-CPU machine the rows above degrade to an overhead
@@ -245,8 +368,39 @@ def main() -> int:
             "WARNING: parallel speedup below the 1.5x acceptance bar "
             "on the sharded workload"
         )
-        return 1
-    return 0
+        failed = True
+
+    # Kernel gate against the committed PR-5 snapshot: the numpy
+    # kernels must beat the pre-kernel serial CSR enumerate by >= 1.5x
+    # on the same workload, and the pure-python path must not regress
+    # past it (small tolerance for machine noise on the equality bar).
+    baseline = load_baseline()
+    base_entry = baseline.get("backend.enumerate_csr_ms")
+    if not args.quick and base_entry and base_entry.get("k") == k:
+        base_ms = base_entry["value"]
+        if "numpy" in kernel_best:
+            ratio = base_ms / (kernel_best["numpy"] * 1e3)
+            print(
+                f"kernel gate: numpy {kernel_best['numpy'] * 1e3:.1f} ms "
+                f"vs PR-5 baseline {base_ms:.1f} ms = {ratio:.2f}x"
+            )
+            if ratio < 1.5:
+                print(
+                    "WARNING: numpy-kernel enumerate below the 1.5x "
+                    "bar over the PR-5 baseline"
+                )
+                failed = True
+        else:
+            print("kernel gate: numpy unavailable - 1.5x bar skipped")
+        py_ms = kernel_best["python"] * 1e3
+        if py_ms > base_ms * 1.10:
+            print(
+                f"WARNING: pure-python kernel enumerate ({py_ms:.1f} ms) "
+                f"regressed past the PR-5 baseline ({base_ms:.1f} ms)"
+            )
+            failed = True
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

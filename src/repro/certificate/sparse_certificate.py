@@ -19,12 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Set, Union
 
+import repro.kernels as kernels
 from repro.certificate.scan_first_search import (
     ForestEdge,
-    compact_view_adjacency,
     forest_components,
     scan_first_forest,
-    scan_first_forest_csr,
 )
 from repro.graph.csr import IntAdjacency, SubgraphView
 from repro.graph.graph import Graph, Vertex
@@ -103,25 +102,18 @@ def sparse_certificate(graph: Graph, k: int) -> SparseCertificate:
 def _sparse_certificate_view(view: SubgraphView, k: int) -> SparseCertificate:
     """CSR-path certificate: forests over the view, adjacency over ids.
 
-    Consumed edges are tracked as byte flags on positions of the base's
-    ``indices`` array (no per-edge ``frozenset`` hashing), and the
-    certificate comes back as an :class:`IntAdjacency` in the base id
-    space, ready for the integer flow-network builder and the sweep
-    machinery.
+    Forest extraction and the adjacency union are kernel calls
+    (:mod:`repro.kernels`): the python kernel runs the compacted-slot
+    FIFO scan of :mod:`repro.certificate.scan_first_search`, the numpy
+    kernel a level-synchronous vectorized equivalent; both return
+    identical forests, edge for edge, and identical adjacency rows,
+    in identical order.  The certificate comes back as an
+    :class:`IntAdjacency` in the base id space, ready for the integer
+    flow-network builder and the sweep machinery.
     """
     base = view.base
-    verts, arows, aptr, total = compact_view_adjacency(view)
-    used = bytearray(total)
-    forests: List[List[ForestEdge]] = []
-    for _ in range(k):
-        forest = scan_first_forest_csr(verts, arows, aptr, used, base.n)
-        forests.append(forest)
-        # Early exit mirrors the dict path: an empty forest means no
-        # edges remain for any later forest either.
-        if not forest:
-            break
-    cert = IntAdjacency(base.n, verts)
-    for forest in forests:
-        for u, v in forest:
-            cert.add_edge(u, v)
+    kern = kernels.select()
+    forests: List[List[ForestEdge]] = kern.scan_first_forests(view, k)
+    cert = IntAdjacency(base.n, view.active_list())
+    kern.fill_forest_adjacency(cert, forests)
     return SparseCertificate(graph=cert, forests=forests, k=k)

@@ -14,8 +14,11 @@ subsystem with two interchangeable engines:
   ``multiprocessing`` worker pool.  The immutable CSR base is shipped
   **at most once per worker** (in the pool initializer under spawn;
   under Linux fork it is inherited copy-on-write and never pickled at
-  all); after that each task travels as a compact payload - ``bytes(view.mask)`` plus the
-  inherited/recheck strong-side-vertex id sets - and each result comes
+  all); after that each task travels as a compact payload - the view's
+  byte mask (placed in a :mod:`repro.core.mask_pool` shared-memory slot
+  where the platform supports it, so only the slot address is pickled)
+  plus the inherited/recheck strong-side-vertex id sets - and each
+  result comes
   back as either a leaf (the k-VCC's member ids) or a list of child
   payloads to reschedule.  Per-task :class:`~repro.core.stats.RunStats`
   are merged into the caller's sink, and leaves are re-sorted by their
@@ -57,9 +60,11 @@ import dataclasses
 import multiprocessing
 import os
 import sys
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Iterable, List, Optional, Set, Tuple, Union
 
+import repro.core.mask_pool as mask_pool
 from repro.core.global_cut import global_cut
 from repro.core.options import KVCCOptions
 from repro.core.partition import overlap_partition
@@ -127,7 +132,9 @@ def expand_work_item(
     )
     children: List[WorkItem] = []
     for part in overlap_partition(sub, cut):
+        t0 = time.perf_counter()
         peel_in_place(part, k)
+        stats.add_stage("peel", time.perf_counter() - t0)
         for comp in connected_components(part):
             if len(comp) <= k:
                 continue
@@ -149,7 +156,10 @@ def root_work_items(
     count; components of at most ``k`` vertices cannot hold a k-VCC
     (Definition 4 requires ``|V| > k``) and are dropped.
     """
-    stats.kcore_removed_vertices += len(peel_in_place(work, k))
+    t0 = time.perf_counter()
+    removed = peel_in_place(work, k)
+    stats.add_stage("peel", time.perf_counter() - t0)
+    stats.kcore_removed_vertices += len(removed)
     return [
         subgraph_of(work, comp)
         for comp in connected_components(work)
@@ -247,10 +257,11 @@ class SerialEngine:
 _Path = Tuple[int, ...]
 
 #: Wire format of one work item: (body, inherited, recheck) where body
-#: is ``bytes(mask)`` on the CSR backend or the ``Graph`` itself on dict.
-_Payload = Tuple[
-    Union[bytes, Graph], Optional[frozenset], Optional[frozenset]
-]
+#: is the mask - ``bytes(mask)``, or the ``("shm", name, offset)``
+#: address of a :mod:`repro.core.mask_pool` slot holding it - on the
+#: CSR backend, or the ``Graph`` itself on dict.
+_Body = Union[bytes, Tuple[str, str, int], Graph]
+_Payload = Tuple[_Body, Optional[frozenset], Optional[frozenset]]
 
 #: Per-worker immutable context: (CSR base or None, k, options).
 _WORKER_STATE: Optional[Tuple[Optional[CSRGraph], int, KVCCOptions]] = None
@@ -275,7 +286,10 @@ def _encode_work_item(
 
 
 def _init_worker(
-    base: Optional[CSRGraph], k: int, options: KVCCOptions
+    base: Optional[CSRGraph],
+    k: int,
+    options: KVCCOptions,
+    shm_unregister: bool = False,
 ) -> None:
     """Pool initializer: receive the per-worker immutable context.
 
@@ -283,10 +297,13 @@ def _init_worker(
     boundary - at most once per worker, never per task.  Under a spawn
     context the initargs are pickled once per worker; under fork they
     are plain references inherited with the parent's address space, so
-    the base is never pickled at all.
+    the base is never pickled at all.  ``shm_unregister`` carries the
+    resource-tracker policy for shared-memory attachment (see
+    :func:`repro.core.mask_pool.configure_attach`).
     """
     global _WORKER_STATE
     _WORKER_STATE = (base, k, options)
+    mask_pool.configure_attach(shm_unregister)
 
 
 def _run_work_item(payload: _Payload):
@@ -299,6 +316,8 @@ def _run_work_item(payload: _Payload):
     """
     base, k, options = _WORKER_STATE
     body, inherited, recheck = payload
+    if isinstance(body, tuple) and body[0] == "shm":
+        body = mask_pool.read_mask(body[1], body[2], base.n)
     sub = base.view_from_mask(body) if isinstance(body, bytes) else body
     stats = RunStats(k=k)
     stats.parallel_tasks = 1
@@ -425,34 +444,70 @@ class ProcessPoolEngine:
             resident = sum(size for _, _, size in pending)
             peak = resident
 
+            # Mask payloads ride in shared-memory slots when the
+            # platform has them: the task message then carries only the
+            # slot address, not the n-byte mask itself.  Children come
+            # back from workers as plain bytes and are re-pooled here
+            # when rescheduled.  Slots are freed as futures complete
+            # (the worker reads the mask inside the task, so completion
+            # proves the slot is no longer needed).
+            slots: Optional[mask_pool.MaskPool] = None
+            if base is not None and mask_pool.available():
+                slots = mask_pool.MaskPool(base.n)
+
             leaves: List[Tuple[_Path, Union[List[int], Graph]]] = []
-            with ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=self._context(),
-                initializer=_init_worker,
-                initargs=(base, k, worker_options),
-            ) as pool:
-                inflight = {}
-                while pending or inflight:
-                    while pending:
-                        path, payload, size = pending.pop()
-                        future = pool.submit(_run_work_item, payload)
-                        inflight[future] = (path, size)
-                    done, _ = wait(
-                        set(inflight), return_when=FIRST_COMPLETED
-                    )
-                    for future in done:
-                        path, size = inflight.pop(future)
-                        kind, data, task_stats = future.result()
-                        stats.merge(task_stats)
-                        resident -= size
-                        if kind == "vcc":
-                            leaves.append((path, data))
-                            continue
-                        for j, (payload, child_size) in enumerate(data):
-                            pending.append((path + (j,), payload, child_size))
-                            resident += child_size
-                        peak = max(peak, resident)
+            ctx = self._context()
+            # Tracker policy: CPython hands every worker the master's
+            # resource-tracker fd under fork AND spawn, so worker-side
+            # unregistration would erase the master's own registration
+            # and break its unlink.  Re-registering into the shared
+            # tracker is idempotent, so workers must never unregister.
+            shm_unregister = False
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=ctx,
+                    initializer=_init_worker,
+                    initargs=(base, k, worker_options, shm_unregister),
+                ) as pool:
+                    inflight = {}
+                    while pending or inflight:
+                        while pending:
+                            path, payload, size = pending.pop()
+                            slot = None
+                            if slots is not None and isinstance(
+                                payload[0], bytes
+                            ):
+                                slot = slots.put(payload[0])
+                                payload = (
+                                    ("shm",) + slot,
+                                    payload[1],
+                                    payload[2],
+                                )
+                            future = pool.submit(_run_work_item, payload)
+                            inflight[future] = (path, size, slot)
+                        done, _ = wait(
+                            set(inflight), return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            path, size, slot = inflight.pop(future)
+                            kind, data, task_stats = future.result()
+                            if slot is not None:
+                                slots.free(*slot)
+                            stats.merge(task_stats)
+                            resident -= size
+                            if kind == "vcc":
+                                leaves.append((path, data))
+                                continue
+                            for j, (payload, child_size) in enumerate(data):
+                                pending.append(
+                                    (path + (j,), payload, child_size)
+                                )
+                                resident += child_size
+                            peak = max(peak, resident)
+            finally:
+                if slots is not None:
+                    slots.close()
             stats.peak_resident_vertices = max(
                 stats.peak_resident_vertices, peak
             )

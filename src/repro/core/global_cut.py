@@ -30,6 +30,7 @@ falls back to a certificate-free recomputation and, failing that, raises.
 from __future__ import annotations
 
 import random
+import time
 from typing import List, Optional, Set
 
 from repro.certificate.side_groups import side_groups_from_forest
@@ -121,7 +122,9 @@ def _global_cut_once(
 
     # --- Algorithm 3, lines 1-2: certificate + flow network ------------
     if options.use_certificate:
+        t0 = time.perf_counter()
         cert = sparse_certificate(graph, k)
+        stats.add_stage("certificate", time.perf_counter() - t0)
         work = cert.graph
         stats.certificate_edges_kept += work.num_edges
         stats.certificate_edges_input += graph.num_edges
@@ -204,7 +207,10 @@ def _loc_cut(
     if u == v or graph.has_edge(u, v):
         return None
     stats.flow_tests += 1
-    return local_vertex_cut(graph, net, u, v, k)
+    t0 = time.perf_counter()
+    cut = local_vertex_cut(graph, net, u, v, k)
+    stats.add_stage("flow", time.perf_counter() - t0)
+    return cut
 
 
 def _phase1_order(work: Graph, source: Vertex, options: KVCCOptions):

@@ -1,0 +1,187 @@
+"""Shared-memory slots for the process-pool engine's mask payloads.
+
+A CSR work item crosses the process boundary as its byte mask - one
+byte per base vertex.  Pickling that mask into every task message
+copies it twice (master pickle, worker unpickle); for a big base that
+dominates task latency.  :class:`MaskPool` instead keeps the masks in
+``multiprocessing.shared_memory`` blocks carved into fixed-size slots
+and ships only ``(name, offset)`` - the worker maps the same physical
+pages and reads the mask zero-copy.
+
+Ownership protocol (single-threaded master loop):
+
+* the master :meth:`MaskPool.put`\\ s a mask right before submitting the
+  task and :meth:`MaskPool.free`\\ s the slot when the task's future
+  completes (the worker is guaranteed to have read it by then - the
+  read happens inside the task);
+* workers only ever read (:func:`read_mask`); they never allocate or
+  free;
+* :meth:`MaskPool.close` unlinks every segment - the engine calls it in
+  a ``finally`` so crashes don't leak ``/dev/shm`` entries.
+
+Worker-side attachment detail: on Pythons without the ``track``
+parameter (< 3.13), ``SharedMemory(name=...)`` registers the segment
+with the resource tracker.  Pool workers inherit the *master's*
+tracker fd (under fork and spawn alike), so that registration is an
+idempotent duplicate and must be left alone - unregistering it would
+erase the master's own registration and break its unlink.
+:func:`read_mask` attaches with ``track=False`` where available and
+otherwise leaves the duplicate registration in place (see
+:func:`configure_attach`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - import guard exercised only without _posixshmem
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # platform without shared-memory support
+    _shm = None  # type: ignore[assignment]
+
+#: Slots allocated per segment: big enough to amortize segment setup,
+#: small enough that a shallow recursion does not over-reserve.
+_SLOTS_PER_SEGMENT = 64
+
+
+def available() -> bool:
+    """Whether shared-memory payloads can be used on this platform."""
+    return _shm is not None
+
+
+class MaskPool:
+    """Master-side allocator of fixed-size shared-memory mask slots.
+
+    Parameters
+    ----------
+    slot_size:
+        Byte length of every mask (the CSR base's ``n``).
+    slots_per_segment:
+        Slots carved out of each underlying segment.
+    """
+
+    def __init__(
+        self, slot_size: int, slots_per_segment: int = _SLOTS_PER_SEGMENT
+    ) -> None:
+        if _shm is None:  # pragma: no cover - platform-dependent
+            raise RuntimeError("shared memory is not available")
+        if slot_size < 1:
+            raise ValueError(f"slot_size must be >= 1, got {slot_size}")
+        self.slot_size = slot_size
+        self.slots_per_segment = max(1, slots_per_segment)
+        self._segments: Dict[str, _shm.SharedMemory] = {}
+        self._free: List[Tuple[str, int]] = []
+        self._closed = False
+
+    def _grow(self) -> None:
+        seg = _shm.SharedMemory(
+            create=True, size=self.slot_size * self.slots_per_segment
+        )
+        self._segments[seg.name] = seg
+        size = self.slot_size
+        # LIFO free list: lowest offsets are handed out first.
+        for i in reversed(range(self.slots_per_segment)):
+            self._free.append((seg.name, i * size))
+
+    def put(self, mask) -> Tuple[str, int]:
+        """Copy ``mask`` into a free slot; returns ``(name, offset)``."""
+        if self._closed:
+            raise RuntimeError("MaskPool is closed")
+        if len(mask) != self.slot_size:
+            raise ValueError(
+                f"mask length {len(mask)} != slot size {self.slot_size}"
+            )
+        if not self._free:
+            self._grow()
+        name, offset = self._free.pop()
+        self._segments[name].buf[offset:offset + self.slot_size] = mask
+        return name, offset
+
+    def free(self, name: str, offset: int) -> None:
+        """Return a slot to the pool (contents become reusable)."""
+        if not self._closed and name in self._segments:
+            self._free.append((name, offset))
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._free.clear()
+        for seg in self._segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "MaskPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Segments this process has attached to, by name.  Workers touch a
+#: handful of segments over their lifetime; caching the attachment
+#: makes every read after the first a pure memoryview slice.
+_ATTACHED: Dict[str, "_shm.SharedMemory"] = {}
+
+#: Whether attaching should undo the resource-tracker registration that
+#: pre-3.13 ``SharedMemory(name=...)`` performs implicitly.  CPython
+#: hands pool workers the master's tracker fd under fork *and* spawn
+#: (``spawn.get_preparation_data`` ships ``tracker_fd``), so the
+#: registration lands in the shared tracker where it is an idempotent
+#: set-add - harmless.  Unregistering there would erase the master's
+#: own registration and break its unlink, so the default is off; the
+#: knob exists for embedders whose workers really do own a private
+#: tracker (where an unreleased registration would unlink the master's
+#: live segment at worker exit).
+_UNREGISTER_ON_ATTACH = False
+
+
+def configure_attach(unregister: bool) -> None:
+    """Set the attach-time tracker policy for this (worker) process."""
+    global _UNREGISTER_ON_ATTACH
+    _UNREGISTER_ON_ATTACH = unregister
+
+
+def _attach(name: str) -> "_shm.SharedMemory":
+    seg = _ATTACHED.get(name)
+    if seg is None:
+        try:
+            seg = _shm.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13: no track parameter
+            seg = _shm.SharedMemory(name=name)
+            if _UNREGISTER_ON_ATTACH:
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(
+                        seg._name, "shared_memory"  # noqa: SLF001
+                    )
+                except Exception:  # pragma: no cover - tracker internals
+                    pass
+        _ATTACHED[name] = seg
+    return seg
+
+
+def read_mask(name: str, offset: int, size: int) -> bytes:
+    """Read one mask out of a pool slot (worker side)."""
+    seg = _attach(name)
+    return bytes(seg.buf[offset:offset + size])
+
+
+def detach_all() -> None:
+    """Drop this process's cached attachments (tests / shutdown)."""
+    for seg in _ATTACHED.values():
+        try:
+            seg.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    _ATTACHED.clear()

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set
 
+import repro.kernels as kernels
 from repro.graph.csr import SubgraphView
 from repro.graph.graph import Graph, Vertex
 
@@ -36,25 +37,20 @@ def k_common_partners(graph: Graph, v: Vertex, k: int) -> Set[Vertex]:
 
     Straight from Lemma 13's premise: counting walks ``v - x - w`` gives
     ``|N(v) ∩ N(w)|`` for every 2-hop neighbor ``w`` in
-    ``O(sum_{x in N(v)} d(x))`` time.  The CSR branch walks the base's
-    index arrays directly instead of materializing filtered neighbor
-    lists for every 1-hop vertex.
+    ``O(sum_{x in N(v)} d(x))`` time.  The CSR branch dispatches to the
+    selected kernel, which walks the base's index arrays directly (the
+    numpy kernel replaces the per-walk dict counting with one row gather
+    plus ``unique(return_counts=True)``).
     """
-    counts: Dict[Vertex, int] = {}
     if isinstance(graph, SubgraphView):
-        rows, mask = graph.base.rows, graph.mask
-        get = counts.get
-        for x in rows[v]:
-            if not mask[x]:
-                continue
-            for w in rows[x]:
-                if w != v and mask[w]:
-                    counts[w] = get(w, 0) + 1
-    else:
-        for x in graph.neighbors(v):
-            for w in graph.neighbors(x):
-                if w != v:
-                    counts[w] = counts.get(w, 0) + 1
+        return kernels.select().two_hop_partners(
+            graph.base, graph.mask, v, k
+        )
+    counts: Dict[Vertex, int] = {}
+    for x in graph.neighbors(v):
+        for w in graph.neighbors(x):
+            if w != v:
+                counts[w] = counts.get(w, 0) + 1
     return {w for w, c in counts.items() if c >= k}
 
 
@@ -154,7 +150,7 @@ def _strong_side_vertices_view(
         pool = (v for v in candidates if 0 <= v < n and mask[v])
 
     nbr_sets: Dict[int, Set[int]] = {}
-    partner_sets: Dict[int, Set[int]] = {}
+    pair_ok: Dict[tuple, bool] = {}
     strong: Set[int] = set()
     for u in pool:
         nbrs = list(filter(active, rows[u]))
@@ -164,8 +160,8 @@ def _strong_side_vertices_view(
         ok = True
         # Pair testing via set algebra: ``remaining`` holds the
         # not-yet-anchored neighbors, so each unordered pair is examined
-        # exactly once, and the adjacent / k-common-partner screens are
-        # C-level set differences instead of a Python pair loop.
+        # exactly once, and the adjacent screen is one C-level subset
+        # probe instead of a Python pair loop.
         remaining = set(nbrs)
         for v in nbrs:
             remaining.discard(v)
@@ -175,15 +171,29 @@ def _strong_side_vertices_view(
             if v_nbrs is None:
                 v_nbrs = set(filter(active, rows[v]))
                 nbr_sets[v] = v_nbrs
-            extra = remaining - v_nbrs
-            if not extra:
+            if remaining.issubset(v_nbrs):
                 continue
-            v_partners = partner_sets.get(v)
-            if v_partners is None:
-                v_partners = k_common_partners(view, v, k)
-                partner_sets[v] = v_partners
-            if extra - v_partners:
-                ok = False
+            # Non-adjacent leftovers are rare and few, so counting
+            # |N(v) ∩ N(w)| directly with an early exit at k beats
+            # materializing v's whole k-common-partner set (a Lemma-13
+            # walk over every 2-hop neighbor); verdicts are cached per
+            # unordered pair since anchors share neighbors.
+            for w in remaining - v_nbrs:
+                key = (v, w) if v < w else (w, v)
+                verdict = pair_ok.get(key)
+                if verdict is None:
+                    count = 0
+                    for x in rows[w]:
+                        if x in v_nbrs:
+                            count += 1
+                            if count >= k:
+                                break
+                    verdict = count >= k
+                    pair_ok[key] = verdict
+                if not verdict:
+                    ok = False
+                    break
+            if not ok:
                 break
         if ok:
             strong.add(u)

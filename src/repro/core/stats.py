@@ -59,6 +59,11 @@ class RunStats:
     #: engine; the parallel engine records one per dispatched task).
     parallel_tasks: int = 0
     elapsed_seconds: float = 0.0
+    #: Wall-clock seconds per pipeline stage (``peel`` / ``certificate``
+    #: / ``flow``), accumulated at the call sites of the corresponding
+    #: kernels.  Execution artifacts like :attr:`elapsed_seconds` - they
+    #: feed the benchmark reports, never the equivalence comparisons.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     #: Counters that are deterministic properties of (graph, k, options)
     #: and therefore identical across execution engines and worker
@@ -79,6 +84,12 @@ class RunStats:
     )
 
     # ------------------------------------------------------------------
+    def add_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock ``seconds`` into one pipeline stage."""
+        self.stage_seconds[stage] = (
+            self.stage_seconds.get(stage, 0.0) + seconds
+        )
+
     def record_prune(self, reason: str) -> None:
         """Tally a phase-1 vertex skipped for ``reason``."""
         if reason in self.phase1_pruned:
@@ -140,6 +151,8 @@ class RunStats:
         )
         self.parallel_tasks += other.parallel_tasks
         self.elapsed_seconds += other.elapsed_seconds
+        for stage, seconds in other.stage_seconds.items():
+            self.add_stage(stage, seconds)
 
 
 class Timer:

@@ -8,16 +8,18 @@ the paper's ``O(min(n^1/2, k) * m)`` bound once the flow is capped at
 ``k``: every phase adds at least one unit, so at most ``k`` phases run
 before early exit.
 
-The implementation is iterative (explicit DFS stack) and uses the
-``FlowNetwork``'s dirty-arc tracking so repeated queries on the same
-network cost only a :meth:`~repro.flow.flow_network.FlowNetwork.reset`.
+The BFS/DFS loops themselves live in :mod:`repro.kernels` (pure-python
+reference and optional numpy fast path; both produce identical flows,
+residual states and therefore identical min cuts).  Each kernel keeps
+one reusable ``level`` / ``iter_idx`` scratch pair cached *per network*
+- nothing is allocated per query - and the ``FlowNetwork``'s dirty-arc
+tracking means repeated queries on the same network cost only a
+:meth:`~repro.flow.flow_network.FlowNetwork.reset`.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import List
-
+import repro.kernels as kernels
 from repro.flow.flow_network import FlowNetwork
 
 
@@ -30,92 +32,4 @@ def max_flow_min_k(net: FlowNetwork, source: int, sink: int, k: int) -> int:
     """
     if source == sink:
         raise ValueError("source and sink must differ")
-    flow = 0
-    level: List[int] = [0] * net.num_nodes
-    iter_idx: List[int] = [0] * net.num_nodes
-    while flow < k:
-        if not _bfs_levels(net, source, sink, level):
-            break
-        for i in range(net.num_nodes):
-            iter_idx[i] = 0
-        while flow < k:
-            pushed = _dfs_blocking(net, source, sink, k - flow, level, iter_idx)
-            if pushed == 0:
-                break
-            flow += pushed
-    return flow
-
-
-def _bfs_levels(
-    net: FlowNetwork, source: int, sink: int, level: List[int]
-) -> bool:
-    """Layered BFS on the residual graph; returns True if sink reachable."""
-    for i in range(len(level)):
-        level[i] = -1
-    level[source] = 0
-    queue = deque([source])
-    cap = net.cap
-    head = net.head
-    adj = net.adj
-    while queue:
-        u = queue.popleft()
-        lu = level[u]
-        for arc_id in adj[u]:
-            if cap[arc_id] > 0:
-                v = head[arc_id]
-                if level[v] < 0:
-                    level[v] = lu + 1
-                    if v == sink:
-                        return True
-                    queue.append(v)
-    return level[sink] >= 0
-
-
-def _dfs_blocking(
-    net: FlowNetwork,
-    source: int,
-    sink: int,
-    limit: int,
-    level: List[int],
-    iter_idx: List[int],
-) -> int:
-    """One augmenting path along the level graph (iterative DFS).
-
-    Returns the amount pushed (0 if no path remains in this phase).
-    ``iter_idx`` implements Dinic's current-arc optimization: arcs already
-    proven useless in this phase are never rescanned.
-    """
-    cap = net.cap
-    head = net.head
-    adj = net.adj
-    path: List[int] = []  # arc ids along the current partial path
-    node = source
-    while True:
-        if node == sink:
-            pushed = limit
-            for arc_id in path:
-                if cap[arc_id] < pushed:
-                    pushed = cap[arc_id]
-            for arc_id in path:
-                net.push(arc_id, pushed)
-            return pushed
-        advanced = False
-        arcs = adj[node]
-        while iter_idx[node] < len(arcs):
-            arc_id = arcs[iter_idx[node]]
-            v = head[arc_id]
-            if cap[arc_id] > 0 and level[v] == level[node] + 1:
-                path.append(arc_id)
-                node = v
-                advanced = True
-                break
-            iter_idx[node] += 1
-        if advanced:
-            continue
-        # Dead end: retreat, marking the node unusable for this phase.
-        level[node] = -1
-        if not path:
-            return 0
-        arc_id = path.pop()
-        node = head[arc_id ^ 1]  # tail of the arc we came through
-        iter_idx[node] += 1
+    return kernels.select().max_flow(net, source, sink, k)

@@ -17,6 +17,7 @@ from collections import deque
 from typing import List
 
 from repro.flow.flow_network import FlowNetwork
+from repro.kernels import python_impl
 
 
 def max_flow_min_k_ek(
@@ -25,7 +26,10 @@ def max_flow_min_k_ek(
     """Max flow from ``source`` to ``sink`` capped at ``k`` (Edmonds-Karp).
 
     Leaves the residual state in place for cut extraction, exactly like
-    the Dinic engine; reset the network before reuse.
+    the Dinic engine; reset the network before reuse.  Uses the python
+    kernel's per-tail arc index over the arena (built once per network
+    and cached), regardless of which kernel drives the Dinic default -
+    this is an ablation comparator, not a selected hot path.
     """
     if source == sink:
         raise ValueError("source and sink must differ")
@@ -33,7 +37,7 @@ def max_flow_min_k_ek(
     parent_arc: List[int] = [-1] * net.num_nodes
     cap = net.cap
     head = net.head
-    adj = net.adj
+    adj = python_impl.prepare_network(net)["adj"]
     while flow < k:
         for i in range(net.num_nodes):
             parent_arc[i] = -1

@@ -21,28 +21,50 @@ construction.
 
 Representation
 --------------
-A standard compact residual network: parallel arrays ``head`` / ``cap``
-plus per-node adjacency lists of arc ids; arc ``2i+1`` is the reverse of
-arc ``2i``.  LOC-CUT runs many max-flow queries on the *same* network
-(one per tested vertex pair), so :meth:`FlowNetwork.reset` restores all
-capacities in O(arcs touched) using a dirty list instead of rebuilding.
+A flat arc *arena*: parallel arrays ``head`` / ``cap`` /
+``initial_cap`` / ``tails`` indexed by arc id, with arc ``2i+1`` the
+reverse of arc ``2i``.  There is deliberately no adjacency structure on
+the network itself: per-node arc indexes (linked per-tail lists for the
+pure-python kernel, a positional ``arc_indptr`` CSR for the numpy
+kernel) are *derived* state that the selected
+:mod:`repro.kernels` implementation builds once per network and caches
+in ``_kern_state``, alongside its reusable ``level`` / ``iter_idx``
+scratch buffers.  LOC-CUT runs many max-flow queries on the *same*
+network (one per tested vertex pair), so :meth:`FlowNetwork.reset`
+restores all capacities in O(arcs touched) using a dirty list instead
+of rebuilding, and the cached layout + scratch survive across queries.
+
+Bulk construction (:func:`build_flow_network` on a view or certificate)
+is also a kernel call: the numpy kernel emits every arc quad with
+vectorized gathers; the python kernel appends element by element.  Both
+produce the identical arc-id layout, and both leave plain lists in the
+arena - scalar DFS indexing dominates the flow phase, and CPython lists
+index measurably faster than ``array('i')`` buffers.  The numpy kernel
+keeps its own int32 mirror of ``cap`` for vectorized BFS sweeps, synced
+from the ``_touched`` dirty list; :attr:`FlowNetwork._version` ticks on
+every :meth:`FlowNetwork.reset` so the mirror can detect resets.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
+import repro.kernels as kernels
 from repro.graph.csr import IntAdjacency, SubgraphView
 from repro.graph.graph import Graph, Vertex
 
 
 class FlowNetwork:
-    """Array-based residual network specialized for unit vertex capacities.
+    """Arena-based residual network specialized for unit vertex capacities.
 
     Attributes
     ----------
     num_nodes:
         ``2n``: in/out node per original vertex.
+    head / cap / initial_cap / tails:
+        The flat arc arrays (arc id -> target node / residual capacity /
+        original capacity / source node), always plain lists - the
+        scalar DFS walks dominate access and lists index fastest.
     to_index / to_vertex:
         Bijection between original vertices and dense indices.  For
         graphs built from the CSR backend ``to_index`` is a dense list
@@ -55,10 +77,12 @@ class FlowNetwork:
         "head",
         "cap",
         "initial_cap",
-        "adj",
+        "tails",
         "to_index",
         "to_vertex",
         "_touched",
+        "_version",
+        "_kern_state",
     )
 
     def __init__(self, num_nodes: int) -> None:
@@ -66,23 +90,33 @@ class FlowNetwork:
         self.head: List[int] = []         # arc id -> target node
         self.cap: List[int] = []          # arc id -> residual capacity
         self.initial_cap: List[int] = []  # arc id -> original capacity
-        self.adj: List[List[int]] = [[] for _ in range(num_nodes)]
+        self.tails: List[int] = []        # arc id -> source node
         self.to_index: Dict[Vertex, int] = {}
         self.to_vertex: List[Vertex] = []
         self._touched: List[int] = []
+        #: Reset epoch: bumped by reset() so kernels that mirror ``cap``
+        #: into their own buffers know when to restart from initial.
+        self._version: int = 0
+        #: Kernel-owned derived state (adjacency indexes, scratch
+        #: buffers), keyed by kernel name; invalidated by add_arc.
+        self._kern_state: dict = {}
 
     # ------------------------------------------------------------------
     def add_arc(self, u: int, v: int, capacity: int) -> int:
         """Add arc ``u -> v`` with its zero-capacity reverse; return arc id."""
+        if self._kern_state:
+            # Derived layouts index every arc; adding one invalidates
+            # them (and releases any buffer views before the append).
+            self._kern_state.clear()
         arc_id = len(self.head)
         self.head.append(v)
         self.cap.append(capacity)
         self.initial_cap.append(capacity)
-        self.adj[u].append(arc_id)
+        self.tails.append(u)
         self.head.append(u)
         self.cap.append(0)
         self.initial_cap.append(0)
-        self.adj[v].append(arc_id + 1)
+        self.tails.append(v)
         return arc_id
 
     def push(self, arc_id: int, amount: int) -> None:
@@ -97,6 +131,7 @@ class FlowNetwork:
             self.cap[arc_id] = self.initial_cap[arc_id]
             self.cap[arc_id ^ 1] = self.initial_cap[arc_id ^ 1]
         self._touched.clear()
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Node naming helpers
@@ -137,14 +172,21 @@ def build_flow_network(graph: Graph, k: int) -> FlowNetwork:
 
     The result has ``2n`` nodes and ``n + 2m`` forward arcs, exactly the
     sizes quoted in Example 4 of the paper (for its all-capacity-1
-    variant).
+    variant).  CSR views and certificate adjacencies go through the
+    selected kernel's bulk arc builder; dict graphs use ``add_arc``.
     """
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
     if isinstance(graph, SubgraphView):
-        return _build_from_view(graph, k)
+        verts = list(graph.active_list())
+        net = _dense_skeleton(verts, graph.base.n)
+        kernels.select().flow_arcs_from_view(net, graph, k)
+        return net
     if isinstance(graph, IntAdjacency):
-        return _build_from_int_adjacency(graph, k)
+        verts = list(graph.verts)
+        net = _dense_skeleton(verts, len(graph.adj))
+        kernels.select().flow_arcs_from_lists(net, graph.adj, verts, k)
+        return net
     n = graph.num_vertices
     net = FlowNetwork(2 * n)
     net.to_vertex = list(graph.vertices())
@@ -159,71 +201,16 @@ def build_flow_network(graph: Graph, k: int) -> FlowNetwork:
 
 
 def _dense_skeleton(verts: List[int], n_base: int) -> FlowNetwork:
-    """A network over ``verts`` with internal arcs and a list ``to_index``.
+    """An arc-less network over ``verts`` with a dense list ``to_index``.
 
     Skipping the vertex->index dict is the CSR payoff: compact node ids
-    come from indexing a dense list by base id, with no hashing.
+    come from indexing a dense list by base id, with no hashing.  The
+    kernel arc builders fill the arena (internal arcs included).
     """
-    n = len(verts)
-    net = FlowNetwork(2 * n)
+    net = FlowNetwork(2 * len(verts))
     net.to_vertex = verts
     lookup = [-1] * n_base
     for i, v in enumerate(verts):
         lookup[v] = i
     net.to_index = lookup
-    for i in range(n):
-        net.add_arc(2 * i, 2 * i + 1, 1)
-    return net
-
-
-def _add_adjacency_arcs(
-    net: FlowNetwork, rows, verts: List[int], k: int, masked: bool
-) -> None:
-    """Append both adjacency arc pairs per undirected edge, inlined.
-
-    ``add_arc`` costs a method call plus four attribute loads per arc;
-    on dense graphs the arc loop dominates network construction, so the
-    appends are unrolled against local bindings here.  Arc layout is
-    identical to the ``add_arc`` path (forward arcs at even ids).
-    """
-    lookup = net.to_index
-    head = net.head
-    cap = net.cap
-    initial_cap = net.initial_cap
-    adj = net.adj
-    caps4 = (k, 0, k, 0)
-    for v in verts:
-        row = rows[v]
-        out_v = 2 * lookup[v] + 1
-        for w in row:
-            if w > v and (not masked or lookup[w] >= 0):
-                in_w = 2 * lookup[w]
-                arc = len(head)
-                # Arc quad per undirected edge: v_out -> w_in and
-                # w_out -> v_in, each followed by its zero-cap reverse.
-                head.extend((in_w, out_v, out_v - 1, in_w + 1))
-                cap.extend(caps4)
-                initial_cap.extend(caps4)
-                adj[out_v].append(arc)
-                adj[in_w].append(arc + 1)
-                adj[in_w + 1].append(arc + 2)
-                adj[out_v - 1].append(arc + 3)
-    return
-
-
-def _build_from_view(view: SubgraphView, k: int) -> FlowNetwork:
-    """Build the flow graph of a CSR view straight from the base rows."""
-    base = view.base
-    verts = list(view.active_list())
-    net = _dense_skeleton(verts, base.n)
-    # Inactive vertices keep lookup -1, which the arc loop skips.
-    _add_adjacency_arcs(net, base.rows, verts, k, masked=True)
-    return net
-
-
-def _build_from_int_adjacency(graph: IntAdjacency, k: int) -> FlowNetwork:
-    """Build from an integer adjacency-list graph (the CSR-path certificate)."""
-    verts = list(graph.verts)
-    net = _dense_skeleton(verts, len(graph.adj))
-    _add_adjacency_arcs(net, graph.adj, verts, k, masked=False)
     return net

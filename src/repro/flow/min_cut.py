@@ -14,9 +14,9 @@ cut vertices are exactly the ``w`` whose ``w_in`` is reachable but
 
 from __future__ import annotations
 
-from collections import deque
 from typing import List, Optional, Set
 
+import repro.kernels as kernels
 from repro.flow.dinic import max_flow_min_k
 from repro.flow.flow_network import FlowNetwork, build_flow_network
 from repro.graph.graph import Graph, Vertex
@@ -31,13 +31,11 @@ def minimum_vertex_cut_from_residual(
     (i.e. the sink is unreachable in the residual graph); otherwise the
     returned set is meaningless.
     """
-    reachable = _residual_reachable(net, source)
+    reachable = kernels.select().residual_reachable(net, source)
     cut: Set[Vertex] = set()
     # Internal arc of vertex index i is arc id 2i: i_in -> i_out.
     for idx, vertex in enumerate(net.to_vertex):
-        node_in = 2 * idx
-        node_out = 2 * idx + 1
-        if node_in in reachable and node_out not in reachable:
+        if reachable[2 * idx] and not reachable[2 * idx + 1]:
             cut.add(vertex)
     return cut
 
@@ -87,24 +85,6 @@ def local_vertex_connectivity(graph: Graph, u: Vertex, v: Vertex, k: int) -> int
         return k
     net = build_flow_network(graph, k)
     return max_flow_min_k(net, net.node_out(u), net.node_in(v), k)
-
-
-def _residual_reachable(net: FlowNetwork, source: int) -> Set[int]:
-    """Nodes reachable from ``source`` through arcs with residual capacity."""
-    seen: Set[int] = {source}
-    queue = deque([source])
-    cap = net.cap
-    head = net.head
-    adj = net.adj
-    while queue:
-        u = queue.popleft()
-        for arc_id in adj[u]:
-            if cap[arc_id] > 0:
-                w = head[arc_id]
-                if w not in seen:
-                    seen.add(w)
-                    queue.append(w)
-    return seen
 
 
 def all_pairs_min_connectivity(graph: Graph, k: int) -> int:

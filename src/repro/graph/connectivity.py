@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Set
 
+import repro.kernels as kernels
 from repro.graph.csr import SubgraphView
 from repro.graph.graph import Graph, Vertex
 
@@ -168,30 +169,13 @@ def shortest_path_length(
 def _components_view(
     view: SubgraphView, removed: Optional[Set[int]]
 ) -> List[Set[int]]:
-    """Components of the view (minus ``removed``), list-queue BFS."""
-    base = view.base
-    rows, mask = base.rows, view.mask
-    seen = bytearray(base.n)
-    if removed:
-        for v in removed:
-            if 0 <= v < base.n:
-                seen[v] = 1
-    components: List[Set[int]] = []
-    for start in view.active_list():
-        if seen[start]:
-            continue
-        seen[start] = 1
-        comp = [start]
-        head = 0
-        while head < len(comp):
-            u = comp[head]
-            head += 1
-            for w in rows[u]:
-                if mask[w] and not seen[w]:
-                    seen[w] = 1
-                    comp.append(w)
-        components.append(set(comp))
-    return components
+    """Components of the view (minus ``removed``); a kernel call.
+
+    The python kernel runs the original list-queue BFS, the numpy kernel
+    a frontier-at-a-time equivalent; components are canonical so both
+    return the same sets in the same discovery order.
+    """
+    return kernels.select().components(view, removed)
 
 
 def _bfs_distances_view(view: SubgraphView, source: int) -> Dict[int, int]:

@@ -54,6 +54,7 @@ from typing import (
     Tuple,
 )
 
+import repro.kernels as kernels
 from repro.graph.graph import Graph, Vertex
 
 
@@ -135,7 +136,7 @@ class CSRGraph:
     [0, 2]
     """
 
-    __slots__ = ("n", "indptr", "indices", "_rows", "interner")
+    __slots__ = ("n", "indptr", "indices", "_rows", "_np", "interner")
 
     def __init__(
         self,
@@ -151,6 +152,9 @@ class CSRGraph:
         self.indptr = indptr
         self.indices = indices
         self._rows: Optional[List[List[int]]] = None
+        #: Cached zero-copy numpy views of indptr/indices, populated by
+        #: the numpy kernel on first use (stays None under pure python).
+        self._np = None
         #: Optional labels for the ids; ``None`` means ids are the labels.
         self.interner = interner
 
@@ -180,17 +184,22 @@ class CSRGraph:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
-        """Convert a dict-backend :class:`Graph`, interning its labels."""
+        """Convert a dict-backend :class:`Graph`, interning its labels.
+
+        Rows are translated to ids in one flat pass; the per-row
+        ascending sort runs through the kernel seam (the numpy kernel
+        sorts all segments with one composite-key argsort).
+        """
         interner = VertexInterner(graph.vertices())
         n = graph.num_vertices
         indptr = array("l", [0]) * (n + 1)
-        for i, v in enumerate(interner.labels):
-            indptr[i + 1] = indptr[i] + graph.degree(v)
-        indices = array("l", [0]) * indptr[n] if n else array("l")
         ids = interner._ids
+        flat: List[int] = []
         for i, v in enumerate(interner.labels):
-            row = sorted(ids[w] for w in graph.neighbors(v))
-            indices[indptr[i] : indptr[i + 1]] = array("l", row)
+            nbrs = graph.neighbors(v)
+            indptr[i + 1] = indptr[i] + len(nbrs)
+            flat.extend(ids[w] for w in nbrs)
+        indices = kernels.select().sort_segments(indptr, flat)
         return cls(n, indptr, indices, interner)
 
     @classmethod
@@ -292,12 +301,9 @@ class CSRGraph:
                 f"mask length {len(mask)} does not match base n={self.n}"
             )
         mask = bytearray(mask)
-        verts = [v for v, m in enumerate(mask) if m]
-        deg = [0] * self.n
-        rows = self.rows
-        active = mask.__getitem__
-        for v in verts:
-            deg[v] = sum(map(active, rows[v]))
+        kern = kernels.select()
+        verts = kern.active_ids(mask)
+        deg = kern.active_degrees(self, mask, verts)
         return SubgraphView(self, mask, deg, len(verts), verts)
 
     def view_from_members(self, members: Iterable[int]) -> "SubgraphView":
@@ -318,11 +324,7 @@ class CSRGraph:
         mask = bytearray(self.n)
         for v in members:
             mask[v] = 1
-        deg = [0] * self.n
-        rows = self.rows
-        active = mask.__getitem__
-        for v in members:
-            deg[v] = sum(map(active, rows[v]))
+        deg = kernels.select().active_degrees(self, mask, members)
         return SubgraphView(self, mask, deg, len(members), members)
 
     def materialize_members(self, members: Iterable[int]) -> Graph:
@@ -339,10 +341,16 @@ class CSRGraph:
         rows = self.rows
         interner = self.interner
         labels = interner.labels if interner is not None else None
+        # Byte-mask membership: C-level ``filter`` over the row beats a
+        # per-entry set test on the fat rows this walks.
+        mb = bytearray(self.n)
+        for v in member_set:
+            mb[v] = 1
+        active = mb.__getitem__
         adj: Dict[Vertex, Set[Vertex]] = {}
         num_edges = 0
         for v in sorted(member_set):
-            row = [w for w in rows[v] if w in member_set]
+            row = list(filter(active, rows[v]))
             if labels is None:
                 adj[v] = set(row)
             else:
@@ -543,31 +551,14 @@ class SubgraphView:
     def peel(self, k: int) -> Set[int]:
         """Remove active vertices of degree < ``k`` in place (k-core).
 
-        Returns the set of removed ids.  Runs in O(active + touched
-        edges): each removed vertex is dequeued once and each incident
-        edge decrements its surviving endpoint once.
+        Returns the set of removed ids.  Dispatches to the selected
+        kernel: the python reference dequeues one vertex at a time (O(
+        active + touched edges)); the numpy kernel peels whole frontiers
+        per round.  Survivor masks and survivor degrees are identical
+        either way (the k-core is unique); the degrees frozen for
+        *removed* ids - stale by contract - may differ between kernels.
         """
-        mask = self.mask
-        deg = self.deg
-        rows = self.base.rows
-        queue: List[int] = [v for v in self.active_list() if deg[v] < k]
-        for v in queue:
-            mask[v] = 0
-        head = 0
-        while head < len(queue):
-            u = queue[head]
-            head += 1
-            for w in rows[u]:
-                if mask[w]:
-                    d = deg[w] - 1
-                    deg[w] = d
-                    if d < k:
-                        mask[w] = 0
-                        queue.append(w)
-        self._n_active -= len(queue)
-        if queue and self._verts is not None:
-            self._verts = [v for v in self._verts if mask[v]]
-        return set(queue)
+        return kernels.select().peel(self, k)
 
     def restrict(self, members: Iterable[int]) -> "SubgraphView":
         """A new view induced on ``members`` (must be active in ``self``).
@@ -581,11 +572,7 @@ class SubgraphView:
         mask = bytearray(base.n)
         for v in members:
             mask[v] = 1
-        deg = [0] * base.n
-        rows = base.rows
-        active = mask.__getitem__
-        for v in members:
-            deg[v] = sum(map(active, rows[v]))
+        deg = kernels.select().active_degrees(base, mask, members)
         return SubgraphView(base, mask, deg, len(members), members)
 
     def copy(self) -> "SubgraphView":
