@@ -50,6 +50,7 @@ Examples
     python -m repro query same-kvcc graph.kvccidx -u 3 -v 17 -k 4
     python -m repro query max-shared-level graph.kvccidx -u 3 -v 17
     python -m repro serve web=graph.kvccidx --port 8716
+    python -m repro serve web=graph.kvccidx --shards 4
     python -m repro serve youtube=name:youtube --build-missing
     python -m repro experiments --quick
 """
@@ -72,10 +73,24 @@ _DATASET_HELP = (
 
 
 def _parse_vertex(token: str):
+    """Canonical int literals become ints; everything else stays a
+    string (``HierarchyIndex.id_of`` and ``_label_id`` apply the
+    int/str spelling fallback, so either labeling resolves)."""
     try:
-        return int(token)
+        value = int(token)
     except ValueError:
         return token
+    return value if str(value) == token else token
+
+
+def _shards_arg(token: str) -> int:
+    """argparse type for --shards: positive int, usage error otherwise."""
+    value = int(token)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"shards must be >= 1 (1 = unsharded), got {value}"
+        )
+    return value
 
 
 def _workers_arg(token: str) -> int:
@@ -270,7 +285,9 @@ def cmd_hierarchy(args: argparse.Namespace) -> int:
         from repro.index import HierarchyIndex
 
         index = HierarchyIndex.from_hierarchy(hierarchy, base.interner)
-        index.save(args.save_index)
+        # Temp-file + atomic rename: a `repro serve` hot-reloading this
+        # path mid-write must never mmap a half-written index.
+        index.save_atomic(args.save_index)
         print(
             f"wrote {args.save_index} ({index.num_nodes} components, "
             f"{index.num_vertices} vertices, max level {index.max_k})"
@@ -412,30 +429,97 @@ def prepare_serve_datasets(
             except ValueError:
                 os.remove(index_path)
         if not os.path.exists(index_path):
-            import tempfile
-
             from repro.core.hierarchy import build_hierarchy_csr
 
             base = dataset.load(cache_dir=cache_dir)
             hierarchy = build_hierarchy_csr(base)
             index = HierarchyIndex.from_hierarchy(hierarchy, base.interner)
             os.makedirs(index_dir, exist_ok=True)
-            # Unique tmp name: concurrent cold boots each write their
-            # own file and race only on the atomic rename.
-            fd, tmp = tempfile.mkstemp(
-                dir=index_dir, suffix=".kvccidx.tmp"
-            )
-            os.close(fd)
             try:
-                index.save(tmp)
-                os.replace(tmp, index_path)
+                # Unique tmp name + atomic rename: concurrent cold
+                # boots each write their own file and race only on the
+                # rename, and a hot-reloading server can never mmap a
+                # half-written index.
+                index.save_atomic(index_path)
             except OSError:
-                if os.path.exists(tmp):
-                    os.remove(tmp)
                 if not os.path.exists(index_path):
                     raise
         out.append((name, index_path))
     return out
+
+
+def _serve_sharded(args: argparse.Namespace, datasets) -> int:
+    """``repro serve --shards N``: worker processes + async router.
+
+    Each dataset's index is partitioned once (content-addressed under
+    the cache dir, so repeated boots of the same file reuse the shard
+    files), N ordinary serving processes host shard ``s`` of every
+    dataset, and an asyncio keep-alive front end routes by consistent
+    hashing over vertex labels - byte-identical answers to a single
+    unsharded server (see :mod:`repro.service.router`).
+    """
+    import asyncio
+
+    from repro.data import default_cache_dir
+    from repro.index import ensure_shards, ring_from_manifest
+    from repro.service import (
+        AsyncHTTPServer,
+        RouterDispatch,
+        ShardCluster,
+        ShardRouter,
+    )
+
+    cache_root = (
+        default_cache_dir() if args.cache_dir is None else args.cache_dir
+    )
+    rings = {}
+    shard_specs = [[] for _ in range(args.shards)]
+    for name, index_path in datasets:
+        try:
+            manifest, paths = ensure_shards(
+                index_path, args.shards, cache_root
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot shard {name!r}: {exc}", file=sys.stderr)
+            return 2
+        rings[name] = ring_from_manifest(manifest)
+        for shard, path in enumerate(paths):
+            shard_specs[shard].append((name, path))
+    cluster = ShardCluster(shard_specs, quiet=not args.verbose)
+    try:
+        addresses = cluster.start()
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        router = ShardRouter(rings)
+        dispatch = RouterDispatch(router, addresses)
+        server = AsyncHTTPServer(
+            dispatch, host=args.host, port=args.port,
+            quiet=not args.verbose,
+        )
+
+        async def _run() -> None:
+            task = asyncio.ensure_future(server.serve())
+            while server.address is None and not task.done():
+                await asyncio.sleep(0.01)
+            if server.address is not None:
+                names = ", ".join(name for name, _ in datasets)
+                print(
+                    f"serving {len(datasets)} dataset(s) [{names}] on "
+                    f"http://{server.address[0]}:{server.address[1]} "
+                    f"({args.shards} shard process(es) behind an async "
+                    f"router); Ctrl-C to stop"
+                )
+            await task
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            print("\nshutting down")
+    finally:
+        cluster.stop()
+    return 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -449,6 +533,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.shards > 1:
+        return _serve_sharded(args, datasets)
     registry = IndexRegistry(capacity=args.capacity, mmap=not args.eager)
     for name, path in datasets:
         try:
@@ -635,6 +721,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--capacity", type=int, default=8, metavar="N",
         help="max indexes resident at once (LRU evicts beyond this)",
+    )
+    p.add_argument(
+        "--shards", type=_shards_arg, default=1, metavar="N",
+        help="partition every index across N shard processes behind an "
+        "asyncio router (consistent hashing over vertex labels; "
+        "answers are byte-identical to --shards 1, which serves "
+        "unsharded in-process)",
     )
     p.add_argument(
         "--eager", action="store_true",

@@ -46,11 +46,27 @@ from repro.index.store import (
     load_index,
 )
 from repro.index.query import HierarchyQueryService
+from repro.index.shard import (
+    HashRing,
+    ensure_shards,
+    load_manifest,
+    ring_from_manifest,
+    route_key,
+    shard_index,
+    write_shards,
+)
 
 __all__ = [
     "FORMAT_VERSION",
+    "HashRing",
     "HierarchyIndex",
     "HierarchyQueryService",
     "build_index",
+    "ensure_shards",
     "load_index",
+    "load_manifest",
+    "ring_from_manifest",
+    "route_key",
+    "shard_index",
+    "write_shards",
 ]

@@ -176,11 +176,14 @@ class HierarchyQueryService:
         try:
             return [numbers[i] for i in map(get, vertices)]
         except TypeError:
-            # Some vertex is unindexed (``get`` returned None); redo
-            # the batch on the guarded path.  Reads are side-effect
-            # free, so restarting is safe.
+            # Some vertex missed the exact-label map (``get`` returned
+            # None); redo the batch on the guarded path, which also
+            # applies ``id_of``'s int/str spelling fallback.  Reads are
+            # side-effect free, so restarting is safe.
+            resolve = self._index.id_of
             return [
-                0 if (i := get(v)) is None else numbers[i] for v in vertices
+                0 if (i := resolve(v)) is None else numbers[i]
+                for v in vertices
             ]
 
     def max_shared_levels(
@@ -194,6 +197,7 @@ class HierarchyQueryService:
         the two component lists.
         """
         get = self._index._id_map().get
+        resolve = self._index.id_of
         numbers = self._index.vcc_numbers
         node_k = self._index.node_k
         vertex_nodes = self._vertex_node_lists()
@@ -202,6 +206,12 @@ class HierarchyQueryService:
         for u, v in pairs:
             iu = get(u)
             iv = get(v)
+            # Exact-label misses retry with the int/str spelling
+            # fallback (same rule as the scalar methods via ``id_of``).
+            if iu is None:
+                iu = resolve(u)
+            if iv is None:
+                iv = resolve(v)
             if iu is None or iv is None:
                 append(0)
                 continue

@@ -1,0 +1,353 @@
+"""Partition a hierarchy index into per-shard ``KVCCIDX`` files.
+
+One ``repro serve`` replica tops out where one interpreter does; past
+that, the index itself has to split.  This module is the supported form
+of the array surgery the serving benchmark has always used to *tile*
+indexes: :func:`shard_index` partitions a loaded
+:class:`~repro.index.store.HierarchyIndex` into ``num_shards``
+self-contained indexes - each a perfectly ordinary ``KVCCIDX`` file the
+existing mmap loader opens individually - and :func:`write_shards`
+persists them next to a JSON *manifest* describing the layout, so a
+router can be configured from the directory alone.
+
+**Placement.**  Every vertex has a *home shard*: the consistent-hash
+ring (:class:`HashRing`) position of its :func:`route_key`.  A shard
+stores its home vertices plus **every component containing one of
+them** (the closure a correct answer needs): any component shared by
+``u`` and ``v`` contains ``u``, so ``u``'s home shard can answer every
+pair query routed by ``u`` - membership, level, and component listings
+come out byte-identical to the unsharded index.  Components are never
+split: one whose members hash to several shards is replicated whole
+into each (bounded by ``min(len(members), num_shards)`` copies), so no
+query ever crosses shards; small components - the regime the paper's
+large graphs and the tiled benchmark index live in - usually land on
+one or two shards each.
+
+**Routing keys.**  Lookup tokens arrive as strings and indexes may
+label vertices with ints or strings, so the key canonicalizes numeric
+spellings (``5``, ``"5"``, ``"05"`` share a key) - exactly the
+equivalence classes of :meth:`HierarchyIndex.id_of`'s int/str fallback.
+The hash is FNV-1a (stable bytes math, no ``PYTHONHASHSEED``
+dependence), so the sharding process and every router process agree on
+placement forever.
+
+Examples
+--------
+>>> from repro.graph.generators import ring_of_cliques
+>>> from repro.index import build_index
+>>> shards = shard_index(build_index(ring_of_cliques(4, 5)), 2)
+>>> [s.num_vertices > 0 for s in shards]
+[True, True]
+>>> ring = HashRing(2)
+>>> home = ring.shard_of(route_key(0))
+>>> shards[home].vcc_number_of(0)
+4
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.index.store import (
+    FORMAT_VERSION,
+    HierarchyIndex,
+    _encode_runs,
+)
+
+#: Manifest schema identifier (bump on incompatible layout changes).
+MANIFEST_FORMAT = "kvccidx-shards/1"
+
+#: File name of the shard manifest inside a shard directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Default virtual nodes per shard on the consistent-hash ring.
+DEFAULT_VNODES = 64
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _fnv1a64(data: bytes) -> int:
+    """64-bit FNV-1a: tiny, stable across processes and platforms."""
+    value = _FNV_OFFSET
+    for byte in data:
+        value = ((value ^ byte) * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+def route_key(value) -> str:
+    """The canonical routing key of a vertex label or lookup token.
+
+    Spellings that :meth:`HierarchyIndex.id_of`'s int/str fallback
+    treats as the same vertex must hash to the same shard, so numeric
+    spellings collapse to the canonical int form and everything else
+    keys on its string form.
+
+    >>> route_key(5) == route_key("5") == route_key("05")
+    True
+    >>> route_key("alice")
+    'alice'
+    """
+    if isinstance(value, bool) or not isinstance(value, (str, int)):
+        return str(value)
+    text = value if isinstance(value, str) else str(value)
+    try:
+        return str(int(text))
+    except ValueError:
+        return text
+
+
+class HashRing:
+    """Consistent-hash ring mapping routing keys to shard ids.
+
+    Each shard owns ``vnodes`` pseudo-random points on a 64-bit ring; a
+    key belongs to the shard owning the first point at or after its own
+    hash.  Construction is deterministic from ``(num_shards, vnodes)``,
+    so the ring never needs to be serialized - the manifest records the
+    two integers and every process rebuilds the identical ring.
+
+    >>> ring = HashRing(4)
+    >>> ring.shard_of("alice") == ring.shard_of("alice")
+    True
+    >>> ring.num_shards
+    4
+    """
+
+    __slots__ = ("num_shards", "vnodes", "_points", "_owners")
+
+    def __init__(self, num_shards: int, vnodes: int = DEFAULT_VNODES) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.num_shards = num_shards
+        self.vnodes = vnodes
+        pairs = sorted(
+            (_fnv1a64(f"shard-{shard}#{replica}".encode("ascii")), shard)
+            for shard in range(num_shards)
+            for replica in range(vnodes)
+        )
+        self._points = [point for point, _ in pairs]
+        self._owners = [owner for _, owner in pairs]
+
+    def shard_of(self, key: str) -> int:
+        """The shard id owning ``key`` (a :func:`route_key` string)."""
+        position = bisect.bisect_left(
+            self._points, _fnv1a64(key.encode("utf-8"))
+        )
+        if position == len(self._points):
+            position = 0  # wrap past the last point to the ring start
+        return self._owners[position]
+
+
+def shard_index(
+    index: HierarchyIndex,
+    num_shards: int,
+    vnodes: int = DEFAULT_VNODES,
+) -> List[HierarchyIndex]:
+    """Partition ``index`` into ``num_shards`` self-contained indexes.
+
+    Pure array surgery, no enumeration: shard ``s`` holds the vertices
+    whose :func:`route_key` lands on it plus every component containing
+    one of them, with ids and parent pointers remapped shard-locally
+    and node order (level by level) preserved, so every
+    :class:`HierarchyIndex` invariant holds per shard.  A query about a
+    home vertex answers byte-identically to the unsharded index; see
+    the module docstring for why pair queries routed by their first
+    vertex stay exact.
+
+    ``num_shards=1`` reproduces the input index (one shard, everything
+    home).
+    """
+    ring = HashRing(num_shards, vnodes)
+    labels = index.labels
+    home = [ring.shard_of(route_key(label)) for label in labels]
+
+    # Owned vertices seed each shard; member closure joins below.
+    shard_vertices: List[set] = [set() for _ in range(num_shards)]
+    for vid, shard in enumerate(home):
+        shard_vertices[shard].add(vid)
+    shard_nodes: List[List[int]] = [[] for _ in range(num_shards)]
+    for node in range(index.num_nodes):
+        members = index.members(node)
+        for shard in {home[vid] for vid in members}:
+            shard_nodes[shard].append(node)
+            shard_vertices[shard].update(members)
+
+    out: List[HierarchyIndex] = []
+    for shard in range(num_shards):
+        vids = sorted(shard_vertices[shard])
+        local = {vid: new for new, vid in enumerate(vids)}
+        node_map: Dict[int, int] = {}
+        node_k: List[int] = []
+        node_parent: List[int] = []
+        run_offsets: List[int] = [0]
+        runs: List[int] = []
+        vcc_numbers = [0] * len(vids)
+        for new_node, node in enumerate(shard_nodes[shard]):
+            node_map[node] = new_node
+            k = index.node_k[node]
+            node_k.append(k)
+            parent = index.node_parent[node]
+            # A parent's members are a superset of its child's, so its
+            # shard set is too: every included node's parent is local.
+            node_parent.append(-1 if parent < 0 else node_map[parent])
+            members = [local[vid] for vid in index.members(node)]
+            _encode_runs(members, runs)
+            run_offsets.append(len(runs) // 2)
+            for member in members:
+                if vcc_numbers[member] < k:
+                    vcc_numbers[member] = k
+        out.append(
+            HierarchyIndex(
+                labels=[labels[vid] for vid in vids],
+                node_k=node_k,
+                node_parent=node_parent,
+                run_offsets=run_offsets,
+                runs=runs,
+                vcc_numbers=vcc_numbers,
+                # node_k ascends, so the deepest local level is last.
+                max_k=node_k[-1] if node_k else 0,
+            )
+        )
+    return out
+
+
+def write_shards(
+    index: HierarchyIndex,
+    out_dir: str,
+    num_shards: int,
+    vnodes: int = DEFAULT_VNODES,
+    source: Optional[dict] = None,
+) -> dict:
+    """Shard ``index`` into ``out_dir`` and write the manifest.
+
+    Shard files land as ``shard-NNNN.kvccidx`` (each written via
+    temp-file + atomic rename, so a concurrent reader never maps a
+    partial index), the manifest last - a reader that finds
+    ``manifest.json`` is guaranteed complete shard files.  Returns the
+    manifest dict.
+    """
+    shards = shard_index(index, num_shards, vnodes)
+    os.makedirs(out_dir, exist_ok=True)
+    records = []
+    for number, shard in enumerate(shards):
+        file_name = f"shard-{number:04d}.kvccidx"
+        shard.save_atomic(os.path.join(out_dir, file_name))
+        records.append(
+            {
+                "file": file_name,
+                "vertices": shard.num_vertices,
+                "nodes": shard.num_nodes,
+                "max_k": shard.max_k,
+            }
+        )
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "index_format_version": FORMAT_VERSION,
+        "num_shards": num_shards,
+        "hash": {"scheme": "fnv1a64-ring", "vnodes": vnodes},
+        "shards": records,
+        "source": source or {},
+    }
+    manifest_path = os.path.join(out_dir, MANIFEST_NAME)
+    blob = json.dumps(manifest, indent=2, sort_keys=True)
+    tmp = manifest_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(blob)
+    os.replace(tmp, manifest_path)
+    return manifest
+
+
+def load_manifest(shard_dir: str) -> dict:
+    """Read and validate the manifest of a shard directory.
+
+    Raises ``ValueError`` on unknown formats or a manifest whose shard
+    list disagrees with its own ``num_shards`` - the loud-rejection
+    policy every other loader in the repo follows.
+    """
+    path = os.path.join(shard_dir, MANIFEST_NAME)
+    with open(path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported shard manifest format "
+            f"{manifest.get('format')!r} (this build reads "
+            f"{MANIFEST_FORMAT!r}); re-shard the index"
+        )
+    shards = manifest.get("shards", [])
+    if len(shards) != manifest.get("num_shards"):
+        raise ValueError(
+            f"{path}: corrupt manifest ({len(shards)} shard record(s) "
+            f"for declared num_shards={manifest.get('num_shards')})"
+        )
+    if manifest.get("hash", {}).get("scheme") != "fnv1a64-ring":
+        raise ValueError(
+            f"{path}: unknown routing hash scheme "
+            f"{manifest.get('hash', {}).get('scheme')!r}"
+        )
+    return manifest
+
+
+def shard_paths(manifest: dict, shard_dir: str) -> List[str]:
+    """Absolute shard file paths of a loaded manifest, shard order."""
+    return [
+        os.path.join(shard_dir, record["file"])
+        for record in manifest["shards"]
+    ]
+
+
+def ring_from_manifest(manifest: dict) -> HashRing:
+    """Rebuild the routing ring a manifest's shards were placed with."""
+    return HashRing(manifest["num_shards"], manifest["hash"]["vnodes"])
+
+
+def ensure_shards(
+    index_path: str,
+    num_shards: int,
+    cache_root: str,
+    vnodes: int = DEFAULT_VNODES,
+) -> Tuple[dict, List[str]]:
+    """Shard ``index_path`` once, content-addressed under ``cache_root``.
+
+    The shard directory is keyed by the index file's content digest
+    plus the shard count and format versions, so a rebuilt index (new
+    bytes) re-shards while repeated boots of the same file reuse the
+    cached shards; shard files and manifest are written atomically, so
+    concurrent cold boots converge on identical content.  Returns
+    ``(manifest, absolute shard paths)``.
+    """
+    digest = hashlib.sha256()
+    with open(index_path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    key = (
+        f"{digest.hexdigest()[:24]}-n{num_shards}-r{vnodes}"
+        f"-v{FORMAT_VERSION}"
+    )
+    shard_dir = os.path.join(str(cache_root), "shards", key)
+    try:
+        manifest = load_manifest(shard_dir)
+        paths = shard_paths(manifest, shard_dir)
+        if all(os.path.exists(path) for path in paths):
+            return manifest, paths
+    except (OSError, ValueError):
+        pass  # absent or stale: re-shard below
+    index = HierarchyIndex.load(index_path, mmap=True)
+    manifest = write_shards(
+        index,
+        shard_dir,
+        num_shards,
+        vnodes,
+        source={"path": os.path.abspath(index_path)},
+    )
+    return manifest, shard_paths(manifest, shard_dir)
+
+
+def _route_keys_of(labels: Sequence) -> List[str]:
+    """Routing keys of a label sequence (exposed for tests/benches)."""
+    return [route_key(label) for label in labels]

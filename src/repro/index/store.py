@@ -245,8 +245,29 @@ class HierarchyIndex:
         return ids
 
     def id_of(self, label: Hashable) -> Optional[int]:
-        """Dense id of a vertex label, or ``None`` if not indexed."""
-        return self._id_map().get(label)
+        """Dense id of a vertex label, or ``None`` if not indexed.
+
+        Lookup tokens arrive from the CLI and the HTTP layer as
+        strings, parsed int-first; a graph ingested from an edge list
+        may have interned the *other* spelling (label ``"5"`` queried
+        as ``5``, or label ``5`` queried as ``"05"``).  The exact label
+        wins, then the int reading of a string token, then the string
+        spelling of an int token - so every numeric-looking spelling of
+        an indexed vertex resolves instead of silently answering as
+        "unknown vertex".
+        """
+        ids = self._id_map()
+        vid = ids.get(label)
+        if vid is not None:
+            return vid
+        if isinstance(label, str):
+            try:
+                return ids.get(int(label))
+            except ValueError:
+                return None
+        if isinstance(label, int) and not isinstance(label, bool):
+            return ids.get(str(label))
+        return None
 
     def members(self, node: int) -> List[int]:
         """Sorted member ids of component ``node`` (runs decoded)."""
@@ -395,6 +416,32 @@ class HierarchyIndex:
             handle.write(_pack_ints(self.run_offsets))
             handle.write(_pack_ints(self.runs))
             handle.write(_pack_ints(self.vcc_numbers))
+
+    def save_atomic(self, path) -> None:
+        """Write the index via a unique temp file + atomic rename.
+
+        A reader (``repro serve`` hot reload, a concurrent boot) that
+        stats or mmaps ``path`` mid-write must never see a half-written
+        index: the bytes land in a ``mkstemp``-unique sibling first and
+        ``os.replace`` publishes them in one atomic step.  Concurrent
+        writers each write their own temp file and race only on the
+        rename, which is last-writer-wins, never a torn file.
+        """
+        import os
+        import tempfile
+
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".kvccidx.tmp")
+        os.close(fd)
+        try:
+            self.save(tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path, mmap: bool = False) -> "HierarchyIndex":

@@ -11,7 +11,12 @@ with hot reload, and a dependency-free HTTP front end.
 * :mod:`repro.service.handlers` - the transport-agnostic API routing
   (``/healthz``, ``/datasets``, ``/v1/<dataset>/<query>``);
 * :func:`~repro.service.server.create_server` - the stdlib
-  ``ThreadingHTTPServer`` JSON front end, started by ``repro serve``.
+  ``ThreadingHTTPServer`` JSON front end, started by ``repro serve``;
+* :class:`~repro.service.router.ShardRouter`,
+  :mod:`repro.service.cluster`, :mod:`repro.service.aserver` - the
+  sharded tier: per-shard index files behind worker processes, routed
+  by consistent hashing from an asyncio keep-alive front end
+  (``repro serve --shards N``).
 
 Examples
 --------
@@ -28,8 +33,16 @@ Examples
 (200, {'v': '0', 'vcc_number': 4})
 """
 
+from repro.service.aserver import (
+    AsyncHTTPServer,
+    RouterDispatch,
+    ServerThread,
+    registry_dispatch,
+)
+from repro.service.cluster import ShardCluster
 from repro.service.handlers import ApiError, handle_request
 from repro.service.registry import DatasetNotFound, IndexRegistry
+from repro.service.router import ShardRouter
 from repro.service.server import (
     DEFAULT_PORT,
     ServiceRequestHandler,
@@ -39,11 +52,16 @@ from repro.service.server import (
 
 __all__ = [
     "ApiError",
+    "AsyncHTTPServer",
     "DatasetNotFound",
     "DEFAULT_PORT",
     "IndexRegistry",
+    "RouterDispatch",
+    "ServerThread",
     "ServiceRequestHandler",
     "ServiceServer",
+    "ShardCluster",
+    "ShardRouter",
     "create_server",
     "handle_request",
 ]

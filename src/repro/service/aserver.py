@@ -1,0 +1,378 @@
+"""Asyncio HTTP/1.1 front end for the serving layer.
+
+The threading server in :mod:`repro.service.server` spends one OS
+thread per connection; a router front tier mostly *waits* - on client
+sockets and on shard responses - which is exactly the workload a single
+event loop handles with no per-connection threads at all.
+:class:`AsyncHTTPServer` is that loop: a minimal HTTP/1.1 keep-alive
+GET server over ``asyncio`` streams, speaking the same JSON API, with
+the same never-drop-a-connection guarantee (any dispatch failure
+answers as a 500 JSON body on the still-open connection).
+
+What it serves is a *dispatch* coroutine - ``(path, params) -> (status,
+body bytes)`` - with two implementations here:
+
+* :func:`registry_dispatch` - answer from a local
+  :class:`~repro.service.registry.IndexRegistry` via the same
+  :func:`~repro.service.handlers.handle_request` the threading server
+  uses (a drop-in async replica of one unsharded server);
+* :class:`RouterDispatch` - execute
+  :class:`~repro.service.router.ShardRouter` plans against HTTP shard
+  processes over pooled keep-alive upstream connections, fanning
+  sub-requests out concurrently with ``asyncio.gather``.  Forwarded
+  requests relay the shard's body *bytes* untouched - byte parity with
+  an unsharded server is structural, not re-encoded.
+
+Run it on the current thread (``asyncio.run(server.serve())``) or, for
+tests and benchmarks that need a server *next to* the measuring code,
+in a daemon thread via :class:`ServerThread`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+from http import HTTPStatus
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlencode, urlsplit
+
+from repro.service.handlers import handle_request, render_json
+from repro.service.registry import IndexRegistry
+from repro.service.router import ShardRouter
+
+LOG = logging.getLogger("repro.service")
+
+#: An async request executor: ``(path, params, raw_target) -> (status,
+#: body bytes)``.  ``raw_target`` is the request line's URL exactly as
+#: the client sent it, so a forwarding dispatch can relay it verbatim.
+Dispatch = Callable[
+    [str, Dict[str, List[str]], str], Awaitable[Tuple[int, bytes]]
+]
+
+#: Cap on request head size (``readuntil`` limit); far above any real
+#: batch URL while still bounding a hostile or broken client.
+MAX_HEAD = 1 << 20
+
+_INTERNAL_ERROR = b'{"error":"internal server error"}'
+
+
+def _reason(status: int) -> str:
+    try:
+        return HTTPStatus(status).phrase
+    except ValueError:
+        return "Unknown"
+
+
+def _response_bytes(status: int, body: bytes, close: bool) -> bytes:
+    """One buffered write per response: head and body coalesced.
+
+    A single ``write`` is not just tidy - split head/body packets
+    interlock Nagle with the client's delayed ACK (the ~40 ms stall the
+    threading server avoids the same way, via ``wbufsize = -1``).
+    """
+    lines = [
+        f"HTTP/1.1 {status} {_reason(status)}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+    ]
+    if close:
+        lines.append("Connection: close")
+    return "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n" + body
+
+
+class AsyncHTTPServer:
+    """Event-loop HTTP server delegating every request to ``dispatch``.
+
+    Listens on ``(host, port)`` (``port=0`` binds an ephemeral port,
+    readable from :attr:`address` once serving), keeps HTTP/1.1
+    connections alive across requests, and never aborts a connection
+    on handler failure - the catch-all answers 500 JSON, mirroring the
+    threading server's guard.
+    """
+
+    def __init__(
+        self,
+        dispatch: Dispatch,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        self._dispatch = dispatch
+        self._host = host
+        self._port = port
+        self._quiet = quiet
+        self.address: Optional[Tuple[str, int]] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+
+    async def serve(self, ready: Optional[threading.Event] = None) -> None:
+        """Bind and serve until :meth:`shutdown` (runs forever)."""
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_client, self._host, self._port, limit=MAX_HEAD
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.address = (sock[0], sock[1])
+        if ready is not None:
+            ready.set()
+        if not self._quiet:
+            LOG.info("async server listening on %s:%d", *self.address)
+        async with self._server:
+            await self._stopped.wait()
+
+    def shutdown(self) -> None:
+        """Stop accepting and unblock :meth:`serve` (thread-safe not
+        required: call from the serving loop, or via
+        ``loop.call_soon_threadsafe``)."""
+        if self._server is not None:
+            self._server.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def _serve_client(self, reader, writer) -> None:
+        """One connection: read requests until EOF or Connection: close."""
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    ConnectionError,
+                ):
+                    return  # client went away or sent garbage beyond limit
+                close = b"connection: close" in head.lower()
+                status, body = await self._answer(head)
+                writer.write(_response_bytes(status, body, close))
+                await writer.drain()
+                if close:
+                    return
+        except (ConnectionError, TimeoutError):
+            return  # mid-response disconnect: nothing left to tell them
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, TimeoutError):
+                pass
+
+    async def _answer(self, head: bytes) -> Tuple[int, bytes]:
+        """Parse one request head and dispatch it; never raises."""
+        try:
+            request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+            parts = request_line.split()
+            if len(parts) < 2:
+                return 400, render_json({"error": "malformed request line"})
+            method, target = parts[0], parts[1]
+            if method != "GET":
+                return 501, render_json(
+                    {"error": f"unsupported method {method!r}"}
+                )
+            url = urlsplit(target)
+            return await self._dispatch(url.path, parse_qs(url.query),
+                                        target)
+        except Exception:
+            LOG.exception("unhandled error in async dispatch")
+            return 500, _INTERNAL_ERROR
+
+
+class _UpstreamPool:
+    """Keep-alive client connections to one shard, reused per request.
+
+    ``acquire`` hands out an idle connection (or dials a new one);
+    ``release`` returns it for reuse.  A request that fails on a
+    *pooled* connection retries once on a fresh dial - the pooled
+    socket may simply have idled out - while a fresh-dial failure
+    propagates (the shard really is down).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]
+        self._idle = []
+
+    async def request(self, target: str) -> Tuple[int, bytes]:
+        """One GET against this shard; returns (status, body bytes)."""
+        head = (
+            f"GET {target} HTTP/1.1\r\nHost: {self._host}\r\n\r\n"
+        ).encode("latin-1")
+        for attempt in (0, 1):
+            reused = bool(self._idle)
+            if reused:
+                reader, writer = self._idle.pop()
+            else:
+                reader, writer = await asyncio.open_connection(
+                    self._host, self._port, limit=MAX_HEAD
+                )
+            try:
+                writer.write(head)
+                await writer.drain()
+                status, body = await self._read_response(reader)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                writer.close()
+                if reused and attempt == 0:
+                    continue  # stale keep-alive socket: retry fresh
+                raise
+            self._idle.append((reader, writer))
+            return status, body
+        raise ConnectionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    async def _read_response(reader) -> Tuple[int, bytes]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await reader.readexactly(length) if length else b""
+        return status, body
+
+    def close(self) -> None:
+        while self._idle:
+            _, writer = self._idle.pop()
+            try:
+                writer.close()
+            except RuntimeError:
+                # The owning loop already closed; its transports died
+                # with it, so there is nothing left to release.
+                pass
+
+
+class RouterDispatch:
+    """Execute :class:`ShardRouter` plans over HTTP shard upstreams."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        shard_addresses: List[Tuple[str, int]],
+    ) -> None:
+        if len(shard_addresses) != router.num_shards:
+            raise ValueError(
+                f"router expects {router.num_shards} shard(s), got "
+                f"{len(shard_addresses)} address(es)"
+            )
+        self._router = router
+        self._pools = [
+            _UpstreamPool(host, port) for host, port in shard_addresses
+        ]
+
+    async def __call__(self, path, params, target=None) -> Tuple[int, bytes]:
+        plan = self._router.plan(path, params)
+        kind = plan[0]
+        if kind == "local":
+            _, status, payload = plan
+            return status, render_json(payload)
+        if kind == "forward":
+            shard = plan[1]
+            try:
+                # Raw relay both ways: the client's own target goes up
+                # unchanged and the shard's handler renders exactly the
+                # bytes an unsharded server would have.
+                if target is not None:
+                    return await self._pools[shard].request(target)
+                return await self._fetch(shard, path, params)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                return 503, render_json(
+                    {"error": f"shard {shard} unavailable"}
+                )
+        _, subs, merge = plan
+        raw = await asyncio.gather(
+            *(self._fetch(shard, path, sub) for shard, sub in subs),
+            return_exceptions=True,
+        )
+        responses = []
+        for (shard, _), result in zip(subs, raw):
+            if isinstance(result, BaseException):
+                return 503, render_json(
+                    {"error": f"shard {shard} unavailable"}
+                )
+            status, body = result
+            responses.append((status, _loads(body)))
+        status, payload = merge(responses)
+        return status, render_json(payload)
+
+    async def _fetch(self, shard: int, path, params) -> Tuple[int, bytes]:
+        query = urlencode(params, doseq=True)
+        target = f"{path}?{query}" if query else path
+        return await self._pools[shard].request(target)
+
+    def close(self) -> None:
+        """Drop every pooled upstream connection (idempotent)."""
+        for pool in self._pools:
+            pool.close()
+
+
+def _loads(body: bytes) -> dict:
+    import json
+
+    return json.loads(body.decode("utf-8"))
+
+
+def registry_dispatch(registry: IndexRegistry) -> Dispatch:
+    """A dispatch answering from a local registry (unsharded replica).
+
+    Queries over a resident mmap index are microseconds of pure CPU, so
+    running them inline on the event loop beats shipping them to a
+    thread pool.
+    """
+
+    async def dispatch(path, params, target=None) -> Tuple[int, bytes]:
+        status, payload = handle_request(registry, path, params)
+        return status, render_json(payload)
+
+    return dispatch
+
+
+class ServerThread:
+    """Run an :class:`AsyncHTTPServer` on a daemon thread (tests/benches).
+
+    ``start`` returns the bound ``(host, port)``; ``stop`` shuts the
+    loop down and joins the thread.  Use as a context manager::
+
+        with ServerThread(AsyncHTTPServer(dispatch)) as (host, port):
+            ...
+    """
+
+    def __init__(self, server: AsyncHTTPServer) -> None:
+        self._server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Boot the loop thread; returns the bound ``(host, port)``."""
+        ready = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            try:
+                loop.run_until_complete(self._server.serve(ready))
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-aserver", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout=30):
+            raise RuntimeError("async server failed to start within 30s")
+        assert self._server.address is not None
+        return self._server.address
+
+    def stop(self) -> None:
+        """Shut the server down and join the loop thread."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._server.shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,143 @@
+"""Spawn and supervise the shard processes behind a router.
+
+A sharded deployment is N ordinary serving processes - each a
+:class:`~repro.service.registry.IndexRegistry` full of that shard's
+index files behind the plain threading HTTP server - plus the async
+router in front.  :class:`ShardCluster` owns the N processes: it forks
+them, collects the ephemeral port each one bound (sent back over a
+pipe, so there is no port-guessing race), and tears them down.
+
+Shard workers are *entirely* the existing serving stack; nothing in a
+shard process knows it is a shard.  That is the point: every behavior
+the unsharded server has - hot reload, LRU residency, error bodies -
+holds per shard for free, and the router's byte-parity guarantee rests
+on the workers running exactly the code a standalone server runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Tuple
+
+#: One dataset inside one shard process: ``(name, index_path)``.
+DatasetSpec = Tuple[str, str]
+
+
+def _shard_worker(specs, conn, host: str, quiet: bool) -> None:
+    """Entry point of one shard process: serve ``specs`` forever.
+
+    Imports live inside the function so a spawned child pays them
+    itself and the module stays importable without triggering server
+    machinery.
+    """
+    from repro.service.registry import IndexRegistry
+    from repro.service.server import create_server
+
+    registry = IndexRegistry()
+    for name, path in specs:
+        registry.register(name, path)
+    server = create_server(registry, host=host, port=0, quiet=quiet)
+    conn.send(server.server_address)
+    conn.close()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+
+
+class ShardCluster:
+    """N shard serving processes with known addresses.
+
+    Parameters
+    ----------
+    shard_specs:
+        ``shard_specs[s]`` lists the ``(dataset_name, index_path)``
+        registrations of shard process ``s`` - every shard registers
+        the same dataset *names*, each pointing at its own shard file.
+    host:
+        Interface the shards bind (loopback by default; shards are an
+        implementation detail, only the router should face outward).
+
+    Use as a context manager::
+
+        with ShardCluster(specs) as addresses:
+            dispatch = RouterDispatch(router, addresses)
+    """
+
+    def __init__(
+        self,
+        shard_specs: Sequence[Sequence[DatasetSpec]],
+        host: str = "127.0.0.1",
+        quiet: bool = True,
+    ) -> None:
+        if not shard_specs:
+            raise ValueError("a cluster needs at least one shard")
+        self._specs = [list(spec) for spec in shard_specs]
+        self._host = host
+        self._quiet = quiet
+        self._processes: List[multiprocessing.Process] = []
+        self.addresses: Optional[List[Tuple[str, int]]] = None
+
+    def start(self, timeout: float = 60.0) -> List[Tuple[str, int]]:
+        """Launch every shard and return their ``(host, port)`` list.
+
+        Raises ``RuntimeError`` (after cleaning up whatever did start)
+        if any shard fails to report its address within ``timeout``
+        seconds.
+        """
+        if self._processes:
+            raise RuntimeError("cluster already started")
+        pipes = []
+        try:
+            for shard, specs in enumerate(self._specs):
+                parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+                process = multiprocessing.Process(
+                    target=_shard_worker,
+                    args=(specs, child_conn, self._host, self._quiet),
+                    name=f"repro-shard-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                pipes.append(parent_conn)
+            addresses = []
+            for shard, parent_conn in enumerate(pipes):
+                if not parent_conn.poll(timeout):
+                    raise RuntimeError(
+                        f"shard {shard} did not report its address "
+                        f"within {timeout:.0f}s"
+                    )
+                try:
+                    addresses.append(tuple(parent_conn.recv()))
+                except EOFError:
+                    raise RuntimeError(
+                        f"shard {shard} died before binding its port"
+                    ) from None
+        except BaseException:
+            self.stop()
+            raise
+        finally:
+            for parent_conn in pipes:
+                parent_conn.close()
+        self.addresses = addresses
+        return addresses
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Terminate every shard process and reap it."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout)
+        self._processes = []
+        self.addresses = None
+
+    def __enter__(self) -> List[Tuple[str, int]]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -31,6 +31,7 @@ behavior on edge-list-loaded graphs.
 from __future__ import annotations
 
 import json
+import logging
 from typing import Dict, Hashable, List, Tuple
 
 from repro.index.query import HierarchyQueryService
@@ -38,6 +39,8 @@ from repro.service.registry import DatasetNotFound, IndexRegistry
 
 #: Query-parameter multimap, as ``urllib.parse.parse_qs`` produces.
 Params = Dict[str, List[str]]
+
+LOG = logging.getLogger("repro.service")
 
 
 class ApiError(Exception):
@@ -50,11 +53,18 @@ class ApiError(Exception):
 
 
 def _parse_vertex(token: str) -> Hashable:
-    """Integer label when the token is an int literal, else the string."""
+    """Integer label when the token is a *canonical* int literal.
+
+    Non-canonical spellings (``"05"``, ``" 5"``) keep their string form
+    so a string-labeled graph can match them exactly;
+    :meth:`~repro.index.store.HierarchyIndex.id_of` then applies the
+    int/str fallback, so either spelling resolves on either labeling.
+    """
     try:
-        return int(token)
+        value = int(token)
     except ValueError:
         return token
+    return value if str(value) == token else token
 
 
 def _one(params: Params, key: str) -> str:
@@ -126,10 +136,10 @@ def _same_kvcc(service: HierarchyQueryService, params: Params) -> dict:
 def _components_of(service: HierarchyQueryService, params: Params) -> dict:
     """``components-of``: the level-k components containing ``v``."""
     k = _k_param(params)
-    v = _parse_vertex(_one(params, "v"))
-    components = service.components_of(v, k)
+    token = _one(params, "v")
+    components = service.components_of(_parse_vertex(token), k)
     return {
-        "v": _one(params, "v"),
+        "v": token,
         "k": k,
         "count": len(components),
         "components": [_sorted_labels(c) for c in components],
@@ -160,9 +170,12 @@ def handle_request(
 ) -> Tuple[int, dict]:
     """Execute one API request; returns ``(http_status, json_payload)``.
 
-    Never raises for client-shaped failures - unknown routes and bad
-    parameters come back as ``(4xx, {"error": ...})``; an unreadable
-    index file maps to 503 so load balancers treat it as transient.
+    Never raises, period: unknown routes and bad parameters come back
+    as ``(4xx, {"error": ...})``, an unreadable index file maps to 503
+    so load balancers treat it as transient, and *any* other exception
+    - a bug, a corrupt-but-loadable index - is logged with its
+    traceback and answered as a 500 JSON error instead of propagating
+    into the transport and dropping the connection.
     """
     try:
         if path == "/healthz":
@@ -198,6 +211,13 @@ def handle_request(
         return exc.status, {"error": exc.message}
     except ValueError as exc:
         return 400, {"error": str(exc)}
+    except Exception:
+        # A crashed endpoint must still answer: without this, the HTTP
+        # layer aborts the connection mid-keep-alive with no response
+        # at all.  The body stays generic (no internals leak to
+        # clients); the traceback goes to the server log.
+        LOG.exception("unhandled error serving %s %s", path, params)
+        return 500, {"error": "internal server error"}
 
 
 def render_json(payload: dict) -> bytes:

@@ -13,7 +13,10 @@ memory at any moment.
 * **hot reload** - every access re-stats the file; a changed
   ``(mtime_ns, size)`` signature drops the resident index and reloads
   from disk, so rebuilding an index behind a running server takes
-  effect on the next request with no restart;
+  effect on the next request with no restart.  A *failed* stat with a
+  resident index keeps serving the resident copy (counted as
+  ``stat_errors``) instead of failing a dataset whose in-memory state
+  is still valid;
 * **explicit evict** - ``evict``/``evict_all`` for operational control
   (e.g. before deleting a dataset file).
 
@@ -93,6 +96,7 @@ class IndexRegistry:
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._counters: Dict[str, int] = {
             "loads": 0, "reloads": 0, "evictions": 0, "hits": 0,
+            "stat_errors": 0,
         }
 
     # ------------------------------------------------------------------
@@ -145,7 +149,20 @@ class IndexRegistry:
             entry = self._entries.get(name)
             if entry is None:
                 raise DatasetNotFound(name)
-            signature = _file_signature(entry.path)
+            try:
+                signature = _file_signature(entry.path)
+            except OSError:
+                if entry.service is None:
+                    raise
+                # The file vanished from under us (a non-atomic rebuild
+                # mid-rename, an unlinked-but-mapped index): the
+                # resident copy is still perfectly valid, so keep
+                # serving it instead of 503ing a healthy dataset.  The
+                # next successful stat resumes normal reload tracking.
+                self._counters["stat_errors"] += 1
+                self._counters["hits"] += 1
+                self._entries.move_to_end(name)
+                return entry.service
             if entry.service is not None and entry.signature != signature:
                 self._release(entry)
                 self._counters["reloads"] += 1
@@ -214,7 +231,8 @@ class IndexRegistry:
             return out
 
     def stats(self) -> Dict[str, int]:
-        """Lifetime counters: loads, reloads, evictions, hits."""
+        """Lifetime counters: loads, reloads, evictions, hits,
+        stat_errors."""
         with self._lock:
             counters = dict(self._counters)
             counters["registered"] = len(self._entries)

@@ -1,0 +1,278 @@
+"""Route serving-API requests across a set of index shards.
+
+The front tier of a sharded deployment: a :class:`ShardRouter` owns one
+:class:`~repro.index.shard.HashRing` per dataset and turns each
+incoming request into a *plan* - answer locally, forward to exactly one
+shard, or fan out sub-requests and merge their answers.  Planning is
+pure (no I/O), so one router drives both executors:
+
+* :meth:`ShardRouter.handle_request` - synchronous, against in-process
+  ``backends`` callables (used by tests and anywhere sockets are
+  overkill);
+* :class:`repro.service.aserver.RouterDispatch` - asynchronous, against
+  HTTP shard processes over keep-alive connections.
+
+**Byte parity.**  A sharded deployment must be observationally
+identical to one big index: single-vertex queries forward *verbatim* to
+the owning shard (whose handler renders the very bytes an unsharded
+server would); batch queries split per owning shard and merge answers
+back in request order, reassembling the exact payload shape
+:mod:`repro.service.handlers` defines.  Requests the router cannot
+plan - malformed parameters, unknown endpoints or datasets - forward
+verbatim to shard 0, whose handler is the same code an unsharded
+server runs, so even *error* bodies come back canonical instead of
+being re-implemented (and drifting) here.
+
+Routing agrees with shard placement by construction: both sides hash
+:func:`~repro.index.shard.route_key` of the label/token, so ``v=05``
+lands on the shard that owns vertex ``5`` and the int/str fallback of
+``id_of`` keeps working across the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.index.shard import HashRing, route_key
+
+#: Query-parameter multimap, as ``urllib.parse.parse_qs`` produces.
+Params = Dict[str, List[str]]
+
+#: One planned sub-request: (shard id, params for the same path).
+SubRequest = Tuple[int, Params]
+
+#: A shard backend: ``(path, params) -> (status, payload)``.
+Backend = Callable[[str, Params], Tuple[int, dict]]
+
+
+def _grouped(tokens: Sequence[str], shard_of) -> "Dict[int, List[int]]":
+    """Positions of ``tokens`` grouped by owning shard, order kept."""
+    groups: Dict[int, List[int]] = {}
+    for position, token in enumerate(tokens):
+        groups.setdefault(shard_of(token), []).append(position)
+    return groups
+
+
+class ShardRouter:
+    """Plan and (optionally) execute requests over ``num_shards`` shards.
+
+    Parameters
+    ----------
+    datasets:
+        Dataset name -> the :class:`HashRing` its shards were placed
+        with (build from a manifest via
+        :func:`~repro.index.shard.ring_from_manifest`).  All rings must
+        agree on ``num_shards`` - one shard process serves shard ``s``
+        of *every* dataset.
+    backends:
+        Optional in-process shard executors for the synchronous
+        :meth:`handle_request` path; index ``s`` answers for shard
+        ``s``.  Leave ``None`` when only :meth:`plan` is used (the
+        async front end executes plans itself).
+    """
+
+    def __init__(
+        self,
+        datasets: Dict[str, HashRing],
+        backends: Optional[List[Backend]] = None,
+    ) -> None:
+        if not datasets:
+            raise ValueError("a router needs at least one dataset ring")
+        counts = {ring.num_shards for ring in datasets.values()}
+        if len(counts) != 1:
+            raise ValueError(
+                f"dataset rings disagree on shard count: {sorted(counts)}"
+            )
+        self.num_shards = counts.pop()
+        if backends is not None and len(backends) != self.num_shards:
+            raise ValueError(
+                f"got {len(backends)} backend(s) for "
+                f"{self.num_shards} shard(s)"
+            )
+        self._rings = dict(datasets)
+        self._backends = backends
+        self.counters: Dict[str, int] = {
+            "requests": 0, "local": 0, "forwards": 0, "fanouts": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Planning (pure)
+    # ------------------------------------------------------------------
+    def plan(self, path: str, params: Params):
+        """Decide how to serve one request; performs no I/O.
+
+        Returns one of::
+
+            ("local", status, payload)      # answered right here
+            ("forward", shard)              # relay verbatim, one shard
+            ("fanout", subs, merge)         # subs: [(shard, params)];
+                                            # merge: [(status, payload)]
+                                            #        -> (status, payload)
+
+        Anything unplannable forwards to shard 0 so the canonical
+        handler produces the error body (see module docstring).
+        """
+        self.counters["requests"] += 1
+        plan = self._plan(path, params)
+        self.counters[
+            {"local": "local", "forward": "forwards", "fanout": "fanouts"}[
+                plan[0]
+            ]
+        ] += 1
+        return plan
+
+    def _plan(self, path: str, params: Params):
+        if path == "/healthz":
+            subs = [(shard, params) for shard in range(self.num_shards)]
+            return "fanout", subs, self._merge_healthz
+        if path == "/datasets":
+            return "local", 200, {
+                "datasets": [
+                    {"name": name, "num_shards": self.num_shards}
+                    for name in sorted(self._rings)
+                ]
+            }
+        parts = path.strip("/").split("/")
+        if len(parts) != 3 or parts[0] != "v1":
+            return "forward", 0  # no route: canonical 404 from shard 0
+        _, dataset, endpoint = parts
+        ring = self._rings.get(dataset)
+        if ring is None:
+            return "forward", 0  # unknown dataset: canonical 404
+        shard_of = lambda token: ring.shard_of(route_key(token))  # noqa: E731
+        if endpoint == "vcc-number":
+            return self._plan_vcc_number(params, shard_of)
+        if endpoint == "components-of":
+            return self._forward_by(params, "v", shard_of)
+        if endpoint in ("same-kvcc", "max-shared-level"):
+            if "pair" in params:
+                return self._plan_pairs(endpoint, params, shard_of)
+            return self._forward_by(params, "u", shard_of)
+        return "forward", 0  # unknown endpoint: canonical 404
+
+    def _forward_by(self, params: Params, key: str, shard_of):
+        """Forward verbatim to the shard owning the single ``key`` token."""
+        values = params.get(key, [])
+        if len(values) != 1:
+            return "forward", 0  # canonical 400 from the real handler
+        return "forward", shard_of(values[0])
+
+    def _plan_vcc_number(self, params: Params, shard_of):
+        values = params.get("v", [])
+        if not values:
+            return "forward", 0
+        groups = _grouped(values, shard_of)
+        if len(groups) == 1:
+            return "forward", next(iter(groups))
+        subs_meta = list(groups.items())
+        subs = [
+            (shard, {**params, "v": [values[i] for i in positions]})
+            for shard, positions in subs_meta
+        ]
+
+        def merge(responses):
+            numbers: List[Optional[int]] = [None] * len(values)
+            for (_, positions), (status, payload) in zip(
+                subs_meta, responses
+            ):
+                if status != 200:
+                    return status, payload
+                # A one-token sub-batch comes back in scalar shape.
+                answers = payload.get("vcc_numbers")
+                if answers is None:
+                    answers = [payload["vcc_number"]]
+                for position, answer in zip(positions, answers):
+                    numbers[position] = answer
+            return 200, {"v": values, "vcc_numbers": numbers}
+
+        return "fanout", subs, merge
+
+    def _plan_pairs(self, endpoint: str, params: Params, shard_of):
+        """Batch ``pair=u:v`` fan-out for same-kvcc / max-shared-level.
+
+        Pairs route by ``u`` - the owning shard replicates every
+        component containing ``u``, so membership tests against any
+        ``v`` are exact there.
+        """
+        if endpoint == "same-kvcc":
+            k_values = params.get("k", [])
+            if len(k_values) != 1:
+                return "forward", 0
+            try:
+                k = int(k_values[0])
+            except ValueError:
+                return "forward", 0
+            if k < 1:
+                return "forward", 0
+        pairs = params.get("pair", [])
+        firsts = []
+        for token in pairs:
+            u, sep, v = token.partition(":")
+            if not sep or not u or not v:
+                return "forward", 0  # canonical 400
+            firsts.append(u)
+        groups = _grouped(firsts, shard_of)
+        if len(groups) == 1:
+            return "forward", next(iter(groups))
+        subs_meta = list(groups.items())
+        subs = [
+            (shard, {**params, "pair": [pairs[i] for i in positions]})
+            for shard, positions in subs_meta
+        ]
+
+        def merge(responses):
+            results: List = [None] * len(pairs)
+            for (_, positions), (status, payload) in zip(
+                subs_meta, responses
+            ):
+                if status != 200:
+                    return status, payload
+                for position, answer in zip(positions, payload["results"]):
+                    results[position] = answer
+            if endpoint == "same-kvcc":
+                return 200, {"k": k, "results": results}
+            return 200, {"results": results}
+
+        return "fanout", subs, merge
+
+    def _merge_healthz(self, responses):
+        """Aggregate shard liveness under the router's own counters."""
+        shards = []
+        status = "ok"
+        for shard, (code, payload) in enumerate(responses):
+            ok = code == 200 and payload.get("status") == "ok"
+            shards.append({"shard": shard, "ok": ok})
+            if not ok:
+                status = "degraded"
+        return (200 if status == "ok" else 503), {
+            "status": status,
+            "role": "router",
+            "num_shards": self.num_shards,
+            "shards": shards,
+            **self.counters,
+        }
+
+    # ------------------------------------------------------------------
+    # Synchronous execution (tests, embedding)
+    # ------------------------------------------------------------------
+    def handle_request(self, path: str, params: Params) -> Tuple[int, dict]:
+        """Execute a plan against the in-process ``backends``.
+
+        Same contract as :func:`repro.service.handlers.handle_request`,
+        so the two are drop-in interchangeable behind any transport.
+        """
+        if self._backends is None:
+            raise RuntimeError(
+                "this router was built without backends; use plan() with "
+                "an external executor instead"
+            )
+        kind, *rest = self.plan(path, params)
+        if kind == "local":
+            status, payload = rest
+            return status, payload
+        if kind == "forward":
+            return self._backends[rest[0]](path, params)
+        subs, merge = rest
+        return merge(
+            [self._backends[shard](path, sub) for shard, sub in subs]
+        )

@@ -19,6 +19,7 @@ embed it::
 
 from __future__ import annotations
 
+import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -46,12 +47,27 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
 
     def do_GET(self) -> None:
-        """Serve one API request as a JSON response."""
-        url = urlsplit(self.path)
-        status, payload = handle_request(
-            self.server.registry, url.path, parse_qs(url.query)
-        )
-        body = render_json(payload)
+        """Serve one API request as a JSON response.
+
+        :func:`handle_request` already converts every exception to a
+        status + JSON body; the guard here is the last line of defense
+        for failures *around* it (URL parsing, JSON rendering, a bug in
+        this method) - without it, ``BaseHTTPRequestHandler`` aborts
+        the connection with no response bytes at all, which clients see
+        as a dropped keep-alive, not an error.
+        """
+        try:
+            url = urlsplit(self.path)
+            status, payload = handle_request(
+                self.server.registry, url.path, parse_qs(url.query)
+            )
+            body = render_json(payload)
+        except Exception:
+            logging.getLogger("repro.service").exception(
+                "unhandled error serving %s", self.path
+            )
+            status = 500
+            body = render_json({"error": "internal server error"})
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

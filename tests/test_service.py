@@ -327,6 +327,111 @@ class TestHandlers:
         )
         assert (status, payload["vcc_number"]) == (200, 2)
 
+    def test_numeric_string_spelling_resolves(self, registry):
+        """Regression: '05' must answer for int-labeled vertex 5, not 0.
+
+        ``id_of`` documents an int-first-with-string-fallback lookup;
+        before the fix a non-canonical numeric spelling fell through
+        both the handler's int parse and the exact label match and came
+        back as vcc_number 0 - a silent wrong answer over HTTP.
+        """
+        canonical = handle_request(
+            registry, "/v1/ring/vcc-number", {"v": ["5"]}
+        )[1]["vcc_number"]
+        assert canonical > 0
+        status, payload = handle_request(
+            registry, "/v1/ring/vcc-number", {"v": ["05"]}
+        )
+        assert (status, payload["vcc_number"]) == (200, canonical)
+        # The batch path takes a different (vectorized) lookup route.
+        status, payload = handle_request(
+            registry, "/v1/ring/vcc-number", {"v": ["05", "5", "nope"]}
+        )
+        assert payload["vcc_numbers"] == [canonical, canonical, 0]
+        # Pair endpoints resolve the fallback spellings too.
+        status, payload = handle_request(
+            registry, "/v1/ring/max-shared-level",
+            {"u": ["05"], "v": ["5"]},
+        )
+        assert payload["max_shared_level"] == canonical
+
+    def test_int_token_resolves_string_label(self, tmp_path):
+        """The reverse fallback: token '5' against a graph labeled '5'."""
+        from repro.graph.graph import Graph
+
+        path = str(tmp_path / "s.kvccidx")
+        save_index(
+            Graph([("5", "6"), ("6", "7"), ("7", "5"), ("7", "8")]), path
+        )
+        registry = IndexRegistry()
+        registry.register("s", path)
+        status, payload = handle_request(
+            registry, "/v1/s/vcc-number", {"v": ["5"]}
+        )
+        assert (status, payload["vcc_number"]) == (200, 2)
+
+    def test_crashed_endpoint_answers_500(self, registry, monkeypatch):
+        """Regression: a bug inside an endpoint must map to 500 JSON,
+        not propagate into the transport and drop the connection."""
+        from repro.service import handlers
+
+        def boom(service, params):
+            raise TypeError("endpoint bug")
+
+        monkeypatch.setitem(handlers.QUERY_ENDPOINTS, "vcc-number", boom)
+        status, payload = handle_request(
+            registry, "/v1/ring/vcc-number", {"v": ["0"]}
+        )
+        assert status == 500
+        assert payload == {"error": "internal server error"}
+
+    def test_stat_error_keeps_serving_resident_index(self, tmp_path):
+        """Regression: the index file vanishing must not 503 a dataset
+        whose resident copy is still valid."""
+        path = str(tmp_path / "g.kvccidx")
+        save_index(ring_of_cliques(3, 5), path)
+        registry = IndexRegistry()
+        registry.register("g", path)
+        assert registry.get("g").vcc_number(0) == 4
+        os.remove(path)
+        # Still answers from the resident index, counted explicitly.
+        assert registry.get("g").vcc_number(0) == 4
+        assert registry.stats()["stat_errors"] == 1
+        status, payload = handle_request(
+            registry, "/v1/g/vcc-number", {"v": ["0"]}
+        )
+        assert (status, payload["vcc_number"]) == (200, 4)
+        # Once the file is back, normal reload tracking resumes.
+        save_index(complete_graph(6), path)
+        bump_mtime(path)
+        assert registry.get("g").vcc_number(0) == 5
+
+    def test_stat_error_without_resident_index_raises(self, tmp_path):
+        registry = IndexRegistry()
+        registry.register("gone", str(tmp_path / "gone.kvccidx"))
+        with pytest.raises(OSError):
+            registry.get("gone")
+        assert registry.stats()["stat_errors"] == 0
+
+    def test_save_atomic_round_trip_and_cleanup(self, tmp_path):
+        from repro.index import HierarchyIndex
+
+        index = build_index(ring_of_cliques(3, 5))
+        path = tmp_path / "g.kvccidx"
+        index.save_atomic(str(path))
+        assert HierarchyIndex.load(str(path)) == index
+        # Overwriting is atomic too, and no temp litter survives.
+        build_index(complete_graph(6)).save_atomic(str(path))
+        assert HierarchyIndex.load(str(path)).max_k == 5
+        assert [p.name for p in tmp_path.iterdir()] == ["g.kvccidx"]
+
+    def test_save_atomic_failure_leaves_no_litter(self, tmp_path):
+        index = build_index(ring_of_cliques(3, 5))
+        index._labels[0] = ("not", "persistable")
+        with pytest.raises(TypeError):
+            index.save_atomic(str(tmp_path / "g.kvccidx"))
+        assert list(tmp_path.iterdir()) == []
+
 
 @pytest.fixture
 def server(registry):
@@ -390,6 +495,41 @@ class TestHttpServer:
                 assert json.loads(response.read())["vcc_number"] == 4
         finally:
             connection.close()
+
+    def test_crashed_handler_keeps_keep_alive_connection(
+        self, server, monkeypatch
+    ):
+        """Regression: an endpoint bug used to abort the connection with
+        no response bytes; clients saw a dropped keep-alive, not an
+        error.  The same connection must now receive a 500 JSON body
+        and keep working for subsequent requests."""
+        from repro.service import handlers
+
+        def boom(service, params):
+            raise TypeError("endpoint bug")
+
+        monkeypatch.setitem(handlers.QUERY_ENDPOINTS, "same-kvcc", boom)
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request("GET", "/v1/ring/same-kvcc?u=0&v=1&k=2")
+            response = connection.getresponse()
+            assert response.status == 500
+            assert json.loads(response.read()) == {
+                "error": "internal server error"
+            }
+            # The very same socket serves the next request fine.
+            connection.request("GET", "/v1/ring/vcc-number?v=0")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["vcc_number"] == 4
+        finally:
+            connection.close()
+
+    def test_numeric_string_spelling_over_http(self, server):
+        """End-to-end regression for the silent-wrong-answer bug."""
+        status, payload = http_get(server, "/v1/ring/vcc-number?v=05")
+        assert (status, payload["vcc_number"]) == (200, 4)
 
     def test_content_type_json(self, server):
         host, port = server.server_address[:2]
