@@ -32,6 +32,7 @@ BENCHES = [
     ("bench_backend_compare.py", ["--quick"], []),
     ("bench_serve_throughput.py", ["--smoke"], []),
     ("bench_shard_serve.py", ["--smoke"], []),
+    ("bench_incremental.py", ["--smoke"], []),
     ("bench_ingest.py", ["--smoke"], []),
 ]
 

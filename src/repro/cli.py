@@ -378,14 +378,18 @@ def _is_index_file(path: str) -> bool:
 def prepare_serve_datasets(
     specs, build_missing: bool, cache_dir=None
 ):
-    """Turn ``(name, target)`` serve specs into ``(name, index path)``.
+    """Turn ``(name, target)`` serve specs into
+    ``(name, index path, source token)``.
 
-    An existing index file (``KVCCIDX`` magic) is served as-is.
-    Otherwise, with ``build_missing`` set, the target is resolved as a
-    dataset token, its hierarchy is built (cached CSR in, ``KVCCIDX``
-    out), and the index persists in the cache's ``indexes/`` tier keyed
-    by the dataset fingerprint - the next serve boot mmap-loads it
-    directly.
+    An existing index file (``KVCCIDX`` magic) is served as-is with a
+    ``None`` source.  Otherwise, with ``build_missing`` set, the target
+    is resolved as a dataset token, its hierarchy is built (cached CSR
+    in, ``KVCCIDX`` out), the index persists in the cache's
+    ``indexes/`` tier keyed by the dataset fingerprint - the next serve
+    boot mmap-loads it directly - and the token rides along as the
+    source.  A non-``None`` source makes the dataset *mutable*: the
+    serve layer can reload its graph to build the incremental updater
+    behind ``POST /v1/<ds>/edges``.
 
     Raises
     ------
@@ -401,7 +405,7 @@ def prepare_serve_datasets(
         if os.path.exists(target) and (
             not build_missing or _is_index_file(target)
         ):
-            out.append((name, target))
+            out.append((name, target, None))
             continue
         if not build_missing:
             raise ValueError(
@@ -444,8 +448,36 @@ def prepare_serve_datasets(
             except OSError:
                 if not os.path.exists(index_path):
                     raise
-        out.append((name, index_path))
+        out.append((name, index_path, target))
     return out
+
+
+def _make_graph_loader(token: str, cache_dir):
+    """A zero-argument loader of the CSR graph behind a dataset token.
+
+    Deferred (not loaded at serve boot): the graph is only needed if a
+    mutation batch actually arrives for the dataset.
+    """
+
+    def load():
+        from repro.data import resolve_dataset
+
+        return resolve_dataset(token).load(cache_dir=cache_dir)
+
+    return load
+
+
+def _build_mutation_manager(datasets, cache_dir):
+    """A MutationManager covering every dataset with a source token."""
+    from repro.service import MutationManager
+
+    manager = MutationManager()
+    for name, index_path, source in datasets:
+        if source is not None:
+            manager.register(
+                name, index_path, _make_graph_loader(source, cache_dir)
+            )
+    return manager
 
 
 def _serve_sharded(args: argparse.Namespace, datasets) -> int:
@@ -459,14 +491,16 @@ def _serve_sharded(args: argparse.Namespace, datasets) -> int:
     unsharded server (see :mod:`repro.service.router`).
     """
     import asyncio
+    import os
 
     from repro.data import default_cache_dir
-    from repro.index import ensure_shards, ring_from_manifest
+    from repro.index import ensure_shards, refresh_shards, ring_from_manifest
     from repro.service import (
         AsyncHTTPServer,
         RouterDispatch,
         ShardCluster,
         ShardRouter,
+        handle_mutation,
     )
 
     cache_root = (
@@ -474,7 +508,8 @@ def _serve_sharded(args: argparse.Namespace, datasets) -> int:
     )
     rings = {}
     shard_specs = [[] for _ in range(args.shards)]
-    for name, index_path in datasets:
+    shard_dirs = {}
+    for name, index_path, _ in datasets:
         try:
             manifest, paths = ensure_shards(
                 index_path, args.shards, cache_root
@@ -483,6 +518,7 @@ def _serve_sharded(args: argparse.Namespace, datasets) -> int:
             print(f"error: cannot shard {name!r}: {exc}", file=sys.stderr)
             return 2
         rings[name] = ring_from_manifest(manifest)
+        shard_dirs[name] = os.path.dirname(paths[0])
         for shard, path in enumerate(paths):
             shard_specs[shard].append((name, path))
     cluster = ShardCluster(shard_specs, quiet=not args.verbose)
@@ -492,8 +528,25 @@ def _serve_sharded(args: argparse.Namespace, datasets) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
+        mutations = _build_mutation_manager(datasets, args.cache_dir)
+        dataset_names = {name for name, _, _ in datasets}
+
+        def mutate(path, params, body):
+            # The router owns the full index: apply the batch there,
+            # then rewrite only the shard files whose bytes changed -
+            # shard workers pick them up via their own hot reload.
+            status, payload = handle_mutation(
+                dataset_names, mutations, path, params, body
+            )
+            if status == 200:
+                name = payload["dataset"]
+                refresh_shards(
+                    mutations.updater(name).index, shard_dirs[name]
+                )
+            return status, payload
+
         router = ShardRouter(rings)
-        dispatch = RouterDispatch(router, addresses)
+        dispatch = RouterDispatch(router, addresses, mutate=mutate)
         server = AsyncHTTPServer(
             dispatch, host=args.host, port=args.port,
             quiet=not args.verbose,
@@ -504,7 +557,7 @@ def _serve_sharded(args: argparse.Namespace, datasets) -> int:
             while server.address is None and not task.done():
                 await asyncio.sleep(0.01)
             if server.address is not None:
-                names = ", ".join(name for name, _ in datasets)
+                names = ", ".join(name for name, _, _ in datasets)
                 print(
                     f"serving {len(datasets)} dataset(s) [{names}] on "
                     f"http://{server.address[0]}:{server.address[1]} "
@@ -536,7 +589,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.shards > 1:
         return _serve_sharded(args, datasets)
     registry = IndexRegistry(capacity=args.capacity, mmap=not args.eager)
-    for name, path in datasets:
+    for name, path, _ in datasets:
         try:
             registry.register(name, path)
         except ValueError as exc:
@@ -548,11 +601,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             except (OSError, ValueError) as exc:
                 print(f"error: cannot load {name!r}: {exc}", file=sys.stderr)
                 return 2
+    mutations = _build_mutation_manager(datasets, args.cache_dir)
     server = create_server(
-        registry, host=args.host, port=args.port, quiet=not args.verbose
+        registry,
+        host=args.host,
+        port=args.port,
+        quiet=not args.verbose,
+        mutations=mutations,
     )
     host, port = server.server_address[:2]
-    names = ", ".join(name for name, _ in datasets)
+    names = ", ".join(name for name, _, _ in datasets)
     print(f"serving {len(datasets)} dataset(s) [{names}] "
           f"on http://{host}:{port} "
           f"({'eager' if args.eager else 'mmap'} loads, "

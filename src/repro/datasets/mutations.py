@@ -1,0 +1,131 @@
+"""Deterministic edge-mutation streams for dynamic-graph workloads.
+
+The incremental-maintenance path (:mod:`repro.index.delta`) needs
+realistic churn to be exercised, benchmarked and smoke-tested against.
+:func:`mutation_stream` turns any repo graph into a reproducible
+sequence of insert/delete batches: each batch mutates a fixed fraction
+of the *current* edge set (the "1%-churn workload" of the incremental
+benchmark), deletes drawn from live edges and inserts between existing
+- or, optionally, brand-new - vertices.  The generator tracks the
+evolving edge set itself, so streams are valid (no duplicate inserts,
+no deletes of absent edges) and two runs with one seed are identical
+batch for batch.
+
+Batches use the wire shape of ``POST /v1/<ds>/edges``:
+``{"op": "insert"|"delete", "u": ..., "v": ...}`` dicts - pass them
+straight to :meth:`IndexUpdater.apply <repro.index.delta.IndexUpdater
+.apply>`, the serve endpoint, or :func:`apply_mutations` (the
+plain-graph mirror used by equivalence checks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterator, List, Optional
+
+
+def mutation_stream(
+    graph,
+    batches: int,
+    batch_edges: Optional[int] = None,
+    churn: float = 0.01,
+    insert_fraction: float = 0.5,
+    new_vertex_fraction: float = 0.0,
+    seed: int = 0,
+) -> Iterator[List[Dict[str, Hashable]]]:
+    """Yield ``batches`` mutation batches over ``graph``'s edge set.
+
+    Parameters
+    ----------
+    graph:
+        Any :class:`~repro.graph.graph.Graph`; only its vertices and
+        edges are read (the graph itself is never mutated).
+    batches:
+        Number of batches to yield.
+    batch_edges:
+        Mutations per batch; default ``max(1, round(churn * m))`` with
+        ``m`` the graph's initial edge count.
+    churn:
+        Fraction of the edge set mutated per batch when
+        ``batch_edges`` is not given (0.01 = the 1%-churn workload).
+    insert_fraction:
+        Probability a mutation is an insert (the rest are deletes).
+    new_vertex_fraction:
+        Probability an *insert* attaches a brand-new vertex (labeled
+        ``new-<n>``) instead of joining two existing ones - exercises
+        vertices entering the index.
+    seed:
+        RNG seed; equal seeds give identical streams.
+    """
+    if batches < 0:
+        raise ValueError(f"batches must be >= 0, got {batches}")
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ValueError(
+            f"insert_fraction must be in [0, 1], got {insert_fraction}"
+        )
+    rng = random.Random(seed)
+    vertices: List[Hashable] = sorted(graph.vertices(), key=str)
+    edges = {
+        frozenset((u, v)) for u, v in graph.edges()
+    }
+    edge_list = sorted(
+        (tuple(sorted(edge, key=str)) for edge in edges),
+        key=lambda pair: (str(pair[0]), str(pair[1])),
+    )
+    if batch_edges is None:
+        batch_edges = max(1, round(churn * len(edge_list)))
+    fresh = 0
+    for _ in range(batches):
+        batch: List[Dict[str, Hashable]] = []
+        for _ in range(batch_edges):
+            do_insert = rng.random() < insert_fraction
+            if do_insert or not edge_list:
+                if (
+                    rng.random() < new_vertex_fraction or len(vertices) < 2
+                ):
+                    label = f"new-{fresh}"
+                    fresh += 1
+                    u = rng.choice(vertices) if vertices else "new-root"
+                    v = label
+                    vertices.append(label)
+                else:
+                    # A few tries to find a non-edge; dense pockets
+                    # just skip the slot rather than loop forever.
+                    for _ in range(16):
+                        u, v = rng.sample(vertices, 2)
+                        if frozenset((u, v)) not in edges:
+                            break
+                    else:
+                        continue
+                edges.add(frozenset((u, v)))
+                edge_list.append(tuple(sorted((u, v), key=str)))
+                batch.append({"op": "insert", "u": u, "v": v})
+            else:
+                position = rng.randrange(len(edge_list))
+                u, v = edge_list[position]
+                # O(1) removal: swap the tail in.
+                edge_list[position] = edge_list[-1]
+                edge_list.pop()
+                edges.discard(frozenset((u, v)))
+                batch.append({"op": "delete", "u": u, "v": v})
+        yield batch
+
+
+def apply_mutations(graph, batch) -> None:
+    """Apply one batch to a plain graph in place (the rebuild mirror).
+
+    Semantics match :meth:`IndexUpdater.apply`: duplicate inserts and
+    deletes of absent edges are no-ops, inserts create missing
+    vertices.
+    """
+    for entry in batch:
+        op, u, v = entry["op"], entry["u"], entry["v"]
+        if op in ("insert", "+"):
+            graph.add_edge(u, v)
+        elif op in ("delete", "-"):
+            try:
+                graph.remove_edge(u, v)
+            except KeyError:
+                pass
+        else:
+            raise ValueError(f"unknown mutation op {op!r}")

@@ -45,11 +45,17 @@ from repro.index.store import (
     build_index,
     load_index,
 )
+from repro.index.delta import (
+    IndexUpdater,
+    delta_log_path,
+    load_effective_index,
+)
 from repro.index.query import HierarchyQueryService
 from repro.index.shard import (
     HashRing,
     ensure_shards,
     load_manifest,
+    refresh_shards,
     ring_from_manifest,
     route_key,
     shard_index,
@@ -61,10 +67,14 @@ __all__ = [
     "HashRing",
     "HierarchyIndex",
     "HierarchyQueryService",
+    "IndexUpdater",
     "build_index",
+    "delta_log_path",
     "ensure_shards",
+    "load_effective_index",
     "load_index",
     "load_manifest",
+    "refresh_shards",
     "ring_from_manifest",
     "route_key",
     "shard_index",

@@ -1,0 +1,753 @@
+"""Incremental maintenance of a persisted k-VCC hierarchy index.
+
+The hierarchy index (:mod:`repro.index.store`) is built once by a full
+KVCC-ENUM pass; on a mutating graph that makes every edge change cost a
+whole re-enumeration plus a ``KVCCIDX`` rewrite.  This module adds the
+dynamic-update path: classify each edge insert/delete against the
+existing forest, re-run the enumeration only inside the affected
+components' mask views, and persist the outcome as an **append-only
+delta log** next to the base file that the loader overlays without
+rewriting the base.
+
+Classification (why the recompute is local)
+-------------------------------------------
+Let ``G`` be the old graph and ``G'`` the graph after one batch.
+
+* **Level 1.**  1-VCCs are the non-trivial connected components, so
+  only components containing a mutated endpoint can change, and the
+  union of those components plus the mutated endpoints is edge-closed
+  in ``G'`` - connected components of ``G'`` restricted to that region
+  are exact.
+* **Unchanged component, unchanged subtree.**  A component re-found
+  with the same member set whose induced subgraph contains no applied
+  edge is untouched: same members + same edges means the entire
+  subtree below it is reused verbatim, no enumeration.
+* **Deletions stay inside the component that held the edge.**  A
+  k-VCC of ``G'`` that is not one of ``G`` is k-connected in ``G``
+  too (deleting edges never helps connectivity), hence contained in an
+  old k-VCC - and by the ``< k`` overlap bound (Property 1) in exactly
+  the one that contained the deleted edge.  A delete-only batch
+  therefore re-enumerates only the old components containing both
+  endpoints of a deleted edge; siblings survive untouched.
+* **Insertions re-enumerate the parent.**  A new k-VCC created by an
+  inserted edge must contain both endpoints, but may recruit vertices
+  from anywhere in the parent (k-1)-VCC (an inserted edge can close a
+  long cycle through territory in no old k-VCC), so a parent holding
+  an inserted edge re-enumerates its child level over its whole mask
+  view.  Re-found children with unchanged member sets and no interior
+  edge still keep their subtrees, so the cost below the re-enumerated
+  level stays local.
+
+Every surviving component keeps a **stable uid** across updates (base
+nodes are their file position; new nodes draw from a monotonic
+counter), so a delta record is just ``removed`` / ``added`` /
+``reparented`` uid lists plus the applied edges and any new vertex
+labels.  Updater state and disk replay share one deterministic
+linearization - nodes sorted by ``(k, uid)`` - so
+:func:`load_effective_index` reproduces the updater's in-memory index
+exactly, byte for byte.
+
+Delta log format (``<index>.kvccidx.delta``)
+--------------------------------------------
+``KVCCDLT`` magic, one version byte, then the 64-hex-char SHA-256 of
+the base index file, then length-prefixed records::
+
+    <u32 payload_len> <u32 crc32(payload)> <payload: JSON>
+
+A reader stops at the first incomplete or checksum-failing record, so
+a torn tail from a crashed append is silently ignored (the prefix is
+still a valid overlay); a digest that does not match the current base
+file means the log belongs to a *previous* base (e.g. the window of a
+compaction crash, where the new base already folds the log in) and the
+whole log is ignored.  :meth:`IndexUpdater.compact` folds the overlay
+into a fresh base via the same atomic-rename discipline as
+``save_atomic`` and restarts the log.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import zlib
+from time import perf_counter
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.core.engine import create_engine
+from repro.core.options import KVCCOptions
+from repro.core.stats import RunStats
+from repro.graph.csr import CSRGraph
+from repro.index.store import HierarchyIndex, _encode_runs
+
+#: File signature of a hierarchy-index delta log.
+DELTA_MAGIC = b"KVCCDLT"
+#: Current delta-log format version (one unsigned byte after the magic).
+DELTA_FORMAT_VERSION = 1
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_DIGEST_LEN = 64  # ascii hex chars of a sha256
+_HEADER_LEN = len(DELTA_MAGIC) + 1 + _DIGEST_LEN
+
+
+def delta_log_path(index_path) -> str:
+    """The sidecar delta-log path of an index file."""
+    return str(index_path) + ".delta"
+
+
+def _file_digest(path) -> str:
+    """SHA-256 hex digest of a file's bytes (the log's base binding)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _log_header(base_digest: str) -> bytes:
+    return (
+        DELTA_MAGIC
+        + bytes([DELTA_FORMAT_VERSION])
+        + base_digest.encode("ascii")
+    )
+
+
+def read_delta_log(
+    log_path, base_digest: str
+) -> Tuple[Optional[List[dict]], int]:
+    """Decode the delta records overlaying a base with ``base_digest``.
+
+    Returns ``(records, valid_length)``.  ``records`` is ``None`` when
+    the log is absent, not a delta log, an unsupported version, or
+    bound to a different base file - in every one of those cases the
+    correct overlay is "no overlay".  A torn tail (incomplete frame,
+    checksum failure, or undecodable payload) ends the record list at
+    the last good record; ``valid_length`` is the byte offset of the
+    good prefix, which an updater truncates to before appending.
+    """
+    try:
+        with open(log_path, "rb") as handle:
+            blob = handle.read()
+    except OSError:
+        return None, 0
+    prefix = len(DELTA_MAGIC)
+    if (
+        len(blob) < _HEADER_LEN
+        or blob[:prefix] != DELTA_MAGIC
+        or blob[prefix] != DELTA_FORMAT_VERSION
+    ):
+        return None, 0
+    bound = blob[prefix + 1 : _HEADER_LEN]
+    if bound != base_digest.encode("ascii"):
+        return None, 0
+    records: List[dict] = []
+    offset = _HEADER_LEN
+    total = len(blob)
+    while True:
+        if offset + _FRAME.size > total:
+            break
+        length, crc = _FRAME.unpack_from(blob, offset)
+        start = offset + _FRAME.size
+        if start + length > total:
+            break
+        payload = blob[start : start + length]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            break
+        records.append(record)
+        offset = start + length
+    return records, offset
+
+
+class _Node:
+    """One component in the mutable overlay forest."""
+
+    __slots__ = ("k", "parent", "members", "mset")
+
+    def __init__(self, k: int, parent: int, members) -> None:
+        self.k = k
+        #: Parent *uid* (-1 for level-1 roots).
+        self.parent = parent
+        #: Sorted member ids (index id space).
+        self.members: List[int] = sorted(members)
+        self.mset: FrozenSet[int] = frozenset(self.members)
+
+
+class _Forest:
+    """The hierarchy as uid-keyed mutable nodes, replayable from records.
+
+    Base nodes take their index position as uid; nodes created by
+    updates draw fresh uids from a monotonic counter, so uids are
+    stable across batches and never reused.  :meth:`to_index`
+    linearizes by ``(k, uid)`` - deterministic, level-by-level (parents
+    sort before children because their level is smaller), and shared
+    by the in-memory updater and the disk replay path, which is what
+    makes the two byte-identical.
+    """
+
+    __slots__ = ("labels", "nodes", "children", "next_uid")
+
+    def __init__(self) -> None:
+        self.labels: List[Hashable] = []
+        self.nodes: Dict[int, _Node] = {}
+        self.children: Dict[int, Set[int]] = {}
+        self.next_uid = 0
+
+    @classmethod
+    def from_index(cls, index: HierarchyIndex) -> "_Forest":
+        forest = cls()
+        forest.labels = list(index.labels)
+        for node in range(index.num_nodes):
+            parent = index.node_parent[node]
+            forest.nodes[node] = _Node(
+                index.node_k[node], parent, index.members(node)
+            )
+            forest.children[node] = set()
+            if parent >= 0:
+                forest.children[parent].add(node)
+        forest.next_uid = index.num_nodes
+        return forest
+
+    def roots(self) -> List[int]:
+        """Uids of the level-1 components."""
+        return [uid for uid, node in self.nodes.items() if node.k == 1]
+
+    def apply_record(self, record: dict) -> None:
+        """Replay one delta record (labels, removals, adds, reparents).
+
+        Deterministic given the record, which is the whole point: the
+        updater applies the record it just computed and the loader
+        applies the same bytes from disk, and both forests end up
+        identical.
+        """
+        self.labels.extend(record.get("labels", []))
+        for uid in record.get("removed", []):
+            node = self.nodes.pop(uid)
+            parent = node.parent
+            if parent >= 0 and parent in self.nodes:
+                self.children[parent].discard(uid)
+            self.children.pop(uid, None)
+        for uid, k, parent, members in record.get("added", []):
+            self.nodes[uid] = _Node(k, parent, members)
+            self.children[uid] = set()
+            if parent >= 0:
+                self.children[parent].add(uid)
+            if uid >= self.next_uid:
+                self.next_uid = uid + 1
+        for uid, parent in record.get("reparented", []):
+            node = self.nodes[uid]
+            old = node.parent
+            if old >= 0 and old in self.nodes:
+                self.children[old].discard(uid)
+            node.parent = parent
+            if parent >= 0:
+                self.children[parent].add(uid)
+
+    def to_index(self) -> HierarchyIndex:
+        """Linearize into a :class:`HierarchyIndex` by ``(k, uid)``."""
+        order = sorted(
+            self.nodes, key=lambda uid: (self.nodes[uid].k, uid)
+        )
+        position = {uid: i for i, uid in enumerate(order)}
+        node_k: List[int] = []
+        node_parent: List[int] = []
+        run_offsets: List[int] = [0]
+        runs: List[int] = []
+        vcc_numbers = [0] * len(self.labels)
+        max_k = 0
+        for uid in order:
+            node = self.nodes[uid]
+            node_k.append(node.k)
+            node_parent.append(
+                -1 if node.parent < 0 else position[node.parent]
+            )
+            _encode_runs(node.members, runs)
+            run_offsets.append(len(runs) // 2)
+            for vid in node.members:
+                if vcc_numbers[vid] < node.k:
+                    vcc_numbers[vid] = node.k
+            if node.k > max_k:
+                max_k = node.k
+        return HierarchyIndex(
+            labels=list(self.labels),
+            node_k=node_k,
+            node_parent=node_parent,
+            run_offsets=run_offsets,
+            runs=runs,
+            vcc_numbers=vcc_numbers,
+            max_k=max_k,
+        )
+
+
+def load_effective_index(path, mmap: bool = True) -> HierarchyIndex:
+    """Load an index with its delta-log overlay applied.
+
+    With no log (or an invalid / differently-bound / record-free one)
+    this is exactly :meth:`HierarchyIndex.load` - the mmap zero-copy
+    path is preserved.  Otherwise the base is parsed eagerly, the good
+    record prefix replayed, and the overlaid index returned; the result
+    equals the updater's in-memory index after the same records.
+    """
+    log_path = delta_log_path(path)
+    records: Optional[List[dict]] = None
+    if os.path.exists(log_path):
+        records, _ = read_delta_log(log_path, _file_digest(path))
+    if not records:
+        return HierarchyIndex.load(path, mmap=mmap)
+    forest = _Forest.from_index(HierarchyIndex.load(path, mmap=False))
+    for record in records:
+        forest.apply_record(record)
+    return forest.to_index()
+
+
+def _edge_label_pairs(graph):
+    """Iterate a graph's undirected edges as label pairs.
+
+    Accepts both the dict :class:`~repro.graph.graph.Graph` (``edges``
+    iterator) and a :class:`~repro.graph.csr.CSRGraph` base (CSR rows
+    walked directly, labels via the interner).
+    """
+    if isinstance(graph, CSRGraph):
+        indptr, indices = graph.indptr, graph.indices
+        interner = graph.interner
+        for u in range(graph.n):
+            label_u = interner.label(u) if interner is not None else u
+            for pos in range(indptr[u], indptr[u + 1]):
+                v = indices[pos]
+                if v > u:
+                    yield label_u, (
+                        interner.label(v) if interner is not None else v
+                    )
+        return
+    yield from graph.edges()
+
+
+class IndexUpdater:
+    """Maintain a saved index incrementally under edge mutations.
+
+    Parameters
+    ----------
+    index_path:
+        A saved ``KVCCIDX`` file.  Its delta log (if any) is validated
+        and replayed on construction, and a torn tail is truncated so
+        subsequent appends extend a good prefix.
+    graph:
+        The graph the *base* index was built from - a dict
+        :class:`~repro.graph.graph.Graph` or a CSR base.  Mutations
+        recorded in an existing log are replayed on top, so after
+        construction the updater's adjacency matches the overlay.
+    options:
+        Engine switches for the localized re-enumeration (defaults to
+        the serial engine, same as ``build_index``).
+
+    ``apply`` classifies a batch of edge mutations, re-enumerates only
+    the affected mask views, appends one delta record, and refreshes
+    :attr:`index`; readers loading via :func:`load_effective_index`
+    (e.g. the serving registry) see the new state on their next stat.
+    """
+
+    def __init__(
+        self,
+        index_path,
+        graph=None,
+        options: Optional[KVCCOptions] = None,
+    ) -> None:
+        self.path = str(index_path)
+        self.log_path = delta_log_path(index_path)
+        self._options = options or KVCCOptions()
+        self._engine = create_engine(self._options)
+        base = HierarchyIndex.load(self.path, mmap=False)
+        self._digest = _file_digest(self.path)
+        self._forest = _Forest.from_index(base)
+        if graph is None:
+            raise ValueError(
+                "IndexUpdater needs the graph the index was built from"
+            )
+        self._labels: List[Hashable] = list(base.labels)
+        self._ids: Dict[Hashable, int] = {
+            label: i for i, label in enumerate(self._labels)
+        }
+        self._adj: List[Set[int]] = [set() for _ in self._labels]
+        for label_u, label_v in _edge_label_pairs(graph):
+            iu = self._ids.get(label_u)
+            iv = self._ids.get(label_v)
+            if iu is None or iv is None:
+                missing = label_u if iu is None else label_v
+                raise ValueError(
+                    f"graph vertex {missing!r} is not in the index; the "
+                    f"updater must be given the graph the index was "
+                    f"built from"
+                )
+            self._adj[iu].add(iv)
+            self._adj[iv].add(iu)
+        records, valid_length = read_delta_log(self.log_path, self._digest)
+        if records is None:
+            # Absent, or bound to some other base: start (over) empty.
+            self._log_length = 0
+            if os.path.exists(self.log_path):
+                self._reset_log()
+        else:
+            self._log_length = valid_length
+            self._truncate_torn_tail()
+            for record in records:
+                self._replay_graph(record)
+                self._forest.apply_record(record)
+        self.last_stats: Optional[RunStats] = None
+        self._index = self._forest.to_index()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> HierarchyIndex:
+        """The current overlaid index (fresh object after each batch)."""
+        return self._index
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(row) for row in self._adj) // 2
+
+    # ------------------------------------------------------------------
+    # Mutation entry point
+    # ------------------------------------------------------------------
+    def apply(self, mutations) -> dict:
+        """Apply a batch of edge mutations; returns a summary dict.
+
+        ``mutations`` is an iterable of ``(op, u, v)`` with ``op`` one
+        of ``"insert"``/``"+"`` or ``"delete"``/``"-"`` and labels in
+        the graph's vocabulary (unknown labels are created by inserts).
+        Duplicate inserts and deletes of absent edges are counted as
+        skipped, not errors; self loops raise ``ValueError`` (as the
+        graph layer does).  The whole batch lands as **one** delta
+        record, appended after the in-memory state is updated, so a
+        reader sees either the previous overlay or the whole batch.
+        """
+        started = perf_counter()
+        applied: List[Tuple[str, int, int]] = []
+        new_labels: List[Hashable] = []
+        skipped = 0
+        for op, u, v in self._normalized(mutations):
+            if op == "+":
+                iu = self._intern(u, new_labels)
+                iv = self._intern(v, new_labels)
+                if iu == iv:
+                    raise ValueError(f"self loop rejected: {u!r}")
+                if iv in self._adj[iu]:
+                    skipped += 1
+                    continue
+                self._adj[iu].add(iv)
+                self._adj[iv].add(iu)
+            else:
+                iu = self._resolve(u)
+                iv = self._resolve(v)
+                if (
+                    iu is None
+                    or iv is None
+                    or iu == iv
+                    or iv not in self._adj[iu]
+                ):
+                    skipped += 1
+                    continue
+                self._adj[iu].discard(iv)
+                self._adj[iv].discard(iu)
+            applied.append((op, iu, iv))
+        if not applied and not new_labels:
+            return self._summary(started, skipped, None)
+        record = self._recompute(applied, new_labels)
+        self._forest.apply_record(record)
+        self._append_record(record)
+        self._index = self._forest.to_index()
+        return self._summary(started, skipped, record)
+
+    def compact(self) -> None:
+        """Fold the overlay into the base file and restart the log.
+
+        The new base is published with the same temp-file + atomic
+        rename discipline as ``save_atomic``; the fresh (empty) log is
+        bound to the new base's digest.  A crash between the two steps
+        leaves the old log pointing at a digest the new base no longer
+        has, so readers ignore it - the compacted base already contains
+        every folded mutation.
+        """
+        self._index.save_atomic(self.path)
+        self._digest = _file_digest(self.path)
+        self._reset_log()
+        self._forest = _Forest.from_index(self._index)
+        self._index = self._forest.to_index()
+
+    # ------------------------------------------------------------------
+    # Batch normalization / id space
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalized(mutations):
+        for entry in mutations:
+            if isinstance(entry, dict):
+                try:
+                    op, u, v = entry["op"], entry["u"], entry["v"]
+                except KeyError as exc:
+                    raise ValueError(
+                        f"mutation needs 'op', 'u' and 'v': {entry!r}"
+                    ) from exc
+            else:
+                op, u, v = entry
+            if op in ("insert", "+"):
+                yield "+", u, v
+            elif op in ("delete", "-"):
+                yield "-", u, v
+            else:
+                raise ValueError(
+                    f"unknown mutation op {op!r}; expected "
+                    f"'insert' or 'delete'"
+                )
+
+    def _resolve(self, label) -> Optional[int]:
+        """Dense id of a label, with ``id_of``'s int/str fallback."""
+        vid = self._ids.get(label)
+        if vid is not None:
+            return vid
+        if isinstance(label, str):
+            try:
+                return self._ids.get(int(label))
+            except ValueError:
+                return None
+        if isinstance(label, int) and not isinstance(label, bool):
+            return self._ids.get(str(label))
+        return None
+
+    def _intern(self, label, new_labels: List[Hashable]) -> int:
+        vid = self._resolve(label)
+        if vid is not None:
+            return vid
+        vid = len(self._labels)
+        self._labels.append(label)
+        self._ids[label] = vid
+        self._adj.append(set())
+        new_labels.append(label)
+        return vid
+
+    def _replay_graph(self, record: dict) -> None:
+        """Re-apply one logged record's labels and edges to ``_adj``."""
+        for label in record.get("labels", []):
+            self._ids[label] = len(self._labels)
+            self._labels.append(label)
+            self._adj.append(set())
+        for op, iu, iv in record.get("edges", []):
+            if op == "+":
+                self._adj[iu].add(iv)
+                self._adj[iv].add(iu)
+            else:
+                self._adj[iu].discard(iv)
+                self._adj[iv].discard(iu)
+
+    def _build_csr(self) -> CSRGraph:
+        """Snapshot the current adjacency as an id-labeled CSR base."""
+        from array import array
+
+        n = len(self._adj)
+        indptr = array("l", [0]) * (n + 1)
+        for i in range(n):
+            indptr[i + 1] = indptr[i] + len(self._adj[i])
+        indices = array("l", [0]) * indptr[n] if n else array("l")
+        for i in range(n):
+            indices[indptr[i] : indptr[i + 1]] = array(
+                "l", sorted(self._adj[i])
+            )
+        return CSRGraph(n, indptr, indices, None)
+
+    # ------------------------------------------------------------------
+    # Localized re-enumeration
+    # ------------------------------------------------------------------
+    def _recompute(
+        self,
+        applied: List[Tuple[str, int, int]],
+        new_labels: List[Hashable],
+    ) -> dict:
+        """Classify the batch and compute its delta record.
+
+        Reads the (pre-batch) forest, never mutates it - the record it
+        returns goes through :meth:`_Forest.apply_record`, the same
+        code path disk replay uses.
+        """
+        forest = self._forest
+        base = self._build_csr()
+        stats = RunStats(k=0)
+        pairs = [(iu, iv) for _, iu, iv in applied]
+        insert_pairs = [
+            (iu, iv) for op, iu, iv in applied if op == "+"
+        ]
+        touched: Set[int] = set()
+        for iu, iv in pairs:
+            touched.add(iu)
+            touched.add(iv)
+
+        def changed(mset: FrozenSet[int]) -> bool:
+            return any(iu in mset and iv in mset for iu, iv in pairs)
+
+        def has_insert(mset: FrozenSet[int]) -> bool:
+            return any(
+                iu in mset and iv in mset for iu, iv in insert_pairs
+            )
+
+        removed: List[int] = []
+        added: List[list] = []
+        reparented: List[list] = []
+        next_uid = forest.next_uid
+
+        # Level 1: connected components are exact on the edge-closed
+        # region of affected old roots plus mutated endpoints.
+        region: Set[int] = set(touched)
+        pool: Dict[FrozenSet[int], int] = {}
+        for uid in forest.roots():
+            node = forest.nodes[uid]
+            if not touched.isdisjoint(node.mset):
+                pool[node.mset] = uid
+                region.update(node.members)
+        #: (parent uid or -1 for the virtual root, new member list,
+        #: True when the parent is an old node whose children can use
+        #: the delete-only refinement).
+        dirty: List[Tuple[int, List[int], bool]] = [
+            (-1, sorted(region), False)
+        ]
+        k = 1
+        while dirty or pool:
+            tasks: List[Tuple[int, List[int]]] = []
+            for puid, members, is_old in dirty:
+                if len(members) <= k:
+                    continue
+                mset = frozenset(members)
+                if is_old and not has_insert(mset):
+                    # Delete-only parent: only children holding a
+                    # deleted edge can change; the rest adopt in place.
+                    for child in list(forest.children.get(puid, ())):
+                        child_node = forest.nodes[child]
+                        if changed(child_node.mset):
+                            if len(child_node.members) > k:
+                                tasks.append((puid, child_node.members))
+                            # Too small to host a k-VCC piece after the
+                            # deletion check? Still enumerated via the
+                            # parent task list when large enough; a
+                            # component can only shrink, so a child at
+                            # the size floor just dies below.
+                            continue
+                        pool.pop(child_node.mset, None)
+                    continue
+                tasks.append((puid, members))
+            views = [base.view_from_members(m) for _, m in tasks]
+            groups = (
+                self._engine.run_many(
+                    views, k, self._options, stats, materialize=False
+                )
+                if views
+                else []
+            )
+            next_dirty: List[Tuple[int, List[int], bool]] = []
+            next_pool: Dict[FrozenSet[int], int] = {}
+            for (puid, _), comps in zip(tasks, groups):
+                for members in comps:
+                    key = frozenset(members)
+                    cuid = pool.pop(key, None)
+                    if cuid is not None:
+                        node = forest.nodes[cuid]
+                        if node.parent != puid:
+                            reparented.append([cuid, puid])
+                        if changed(key):
+                            next_dirty.append((cuid, members, True))
+                            for grandchild in forest.children.get(
+                                cuid, ()
+                            ):
+                                next_pool[
+                                    forest.nodes[grandchild].mset
+                                ] = grandchild
+                        # else: same members, same interior edges -
+                        # the whole subtree is reused verbatim.
+                    else:
+                        cuid = next_uid
+                        next_uid += 1
+                        added.append([cuid, k, puid, list(members)])
+                        next_dirty.append((cuid, members, False))
+            # Whatever was not re-found no longer exists at this level;
+            # its children go up for adoption (a split may have moved
+            # them under a new node) and cascade out if nobody claims
+            # them.
+            for key, uid in pool.items():
+                removed.append(uid)
+                for child in forest.children.get(uid, ()):
+                    next_pool[forest.nodes[child].mset] = child
+            dirty, pool = next_dirty, next_pool
+            k += 1
+        self.last_stats = stats
+        return {
+            "edges": [[op, iu, iv] for op, iu, iv in applied],
+            "labels": new_labels,
+            "removed": removed,
+            "added": added,
+            "reparented": reparented,
+        }
+
+    # ------------------------------------------------------------------
+    # Log maintenance
+    # ------------------------------------------------------------------
+    def _reset_log(self) -> None:
+        """Atomically (re)start the log as a bare header for the
+        current base digest."""
+        import tempfile
+
+        directory = (
+            os.path.dirname(os.path.abspath(self.log_path)) or "."
+        )
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".delta.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_log_header(self._digest))
+            os.replace(tmp, self.log_path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self._log_length = _HEADER_LEN
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop garbage bytes after the good record prefix, if any."""
+        try:
+            size = os.path.getsize(self.log_path)
+        except OSError:
+            return
+        if size > self._log_length:
+            with open(self.log_path, "rb+") as handle:
+                handle.truncate(self._log_length)
+
+    def _append_record(self, record: dict) -> None:
+        if self._log_length < _HEADER_LEN:
+            self._reset_log()
+        payload = json.dumps(record, separators=(",", ":")).encode(
+            "utf-8"
+        )
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        with open(self.log_path, "ab") as handle:
+            handle.write(frame)
+        self._log_length += len(frame)
+
+    def _summary(
+        self, started: float, skipped: int, record: Optional[dict]
+    ) -> dict:
+        return {
+            "applied": len(record["edges"]) if record else 0,
+            "skipped": skipped,
+            "new_vertices": len(record["labels"]) if record else 0,
+            "nodes_removed": len(record["removed"]) if record else 0,
+            "nodes_added": len(record["added"]) if record else 0,
+            "nodes_reparented": (
+                len(record["reparented"]) if record else 0
+            ),
+            "max_k": self._index.max_k,
+            "elapsed_seconds": perf_counter() - started,
+        }

@@ -321,10 +321,24 @@ def ensure_shards(
     concurrent cold boots converge on identical content.  Returns
     ``(manifest, absolute shard paths)``.
     """
+    from repro.index.delta import delta_log_path, load_effective_index
+
     digest = hashlib.sha256()
     with open(index_path, "rb") as handle:
         for chunk in iter(lambda: handle.read(1 << 20), b""):
             digest.update(chunk)
+    # A delta-log overlay changes the effective index without touching
+    # the base file, so the log bytes (when present and non-trivial)
+    # join the content address: a boot after appended mutations
+    # re-shards, a boot after nothing reuses the cache.
+    log_path = delta_log_path(index_path)
+    if os.path.exists(log_path):
+        try:
+            with open(log_path, "rb") as handle:
+                for chunk in iter(lambda: handle.read(1 << 20), b""):
+                    digest.update(chunk)
+        except OSError:
+            pass
     key = (
         f"{digest.hexdigest()[:24]}-n{num_shards}-r{vnodes}"
         f"-v{FORMAT_VERSION}"
@@ -337,7 +351,7 @@ def ensure_shards(
             return manifest, paths
     except (OSError, ValueError):
         pass  # absent or stale: re-shard below
-    index = HierarchyIndex.load(index_path, mmap=True)
+    index = load_effective_index(index_path, mmap=True)
     manifest = write_shards(
         index,
         shard_dir,
@@ -346,6 +360,57 @@ def ensure_shards(
         source={"path": os.path.abspath(index_path)},
     )
     return manifest, shard_paths(manifest, shard_dir)
+
+
+def refresh_shards(
+    index: HierarchyIndex, shard_dir: str
+) -> int:
+    """Re-shard ``index`` into an existing shard directory in place.
+
+    The mutation path for a sharded deployment: after an incremental
+    update changes the effective index, re-run the (pure array surgery)
+    partition with the directory's own manifest parameters and rewrite
+    **only the shard files whose bytes changed** - untouched shards
+    keep their mtime, so shard workers hot-reload exactly the files a
+    batch affected.  Each rewrite goes through ``save_atomic`` and the
+    manifest is republished last, preserving the no-torn-reads
+    discipline of :func:`write_shards`.  Returns the number of shard
+    files rewritten.
+    """
+    manifest = load_manifest(shard_dir)
+    num_shards = manifest["num_shards"]
+    vnodes = manifest["hash"]["vnodes"]
+    shards = shard_index(index, num_shards, vnodes)
+    changed = 0
+    records = []
+    for number, shard in enumerate(shards):
+        file_name = f"shard-{number:04d}.kvccidx"
+        path = os.path.join(shard_dir, file_name)
+        blob = shard.to_bytes()
+        try:
+            with open(path, "rb") as handle:
+                unchanged = handle.read() == blob
+        except OSError:
+            unchanged = False
+        if not unchanged:
+            shard.save_atomic(path)
+            changed += 1
+        records.append(
+            {
+                "file": file_name,
+                "vertices": shard.num_vertices,
+                "nodes": shard.num_nodes,
+                "max_k": shard.max_k,
+            }
+        )
+    manifest["shards"] = records
+    manifest_path = os.path.join(shard_dir, MANIFEST_NAME)
+    blob = json.dumps(manifest, indent=2, sort_keys=True)
+    tmp = manifest_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(blob)
+    os.replace(tmp, manifest_path)
+    return changed
 
 
 def _route_keys_of(labels: Sequence) -> List[str]:

@@ -386,6 +386,10 @@ class HierarchyIndex:
         else raises ``TypeError`` up front: a tuple label, say, would
         silently come back from JSON as an unhashable list.
         """
+        with open(path, "wb") as handle:
+            self._write(handle)
+
+    def _write(self, handle) -> None:
         for label in self.labels:
             if label is not None and not isinstance(
                 label, (str, int, float, bool)
@@ -398,24 +402,37 @@ class HierarchyIndex:
         labels_blob = json.dumps(self.labels, separators=(",", ":")).encode(
             "utf-8"
         )
-        with open(path, "wb") as handle:
-            handle.write(MAGIC)
-            handle.write(bytes([FORMAT_VERSION]))
-            handle.write(
-                _HEADER.pack(
-                    len(self.labels),
-                    len(self.node_k),
-                    len(self.runs) // 2,
-                    self.max_k,
-                    len(labels_blob),
-                )
+        handle.write(MAGIC)
+        handle.write(bytes([FORMAT_VERSION]))
+        handle.write(
+            _HEADER.pack(
+                len(self.labels),
+                len(self.node_k),
+                len(self.runs) // 2,
+                self.max_k,
+                len(labels_blob),
             )
-            handle.write(labels_blob)
-            handle.write(_pack_ints(self.node_k))
-            handle.write(_pack_ints(self.node_parent))
-            handle.write(_pack_ints(self.run_offsets))
-            handle.write(_pack_ints(self.runs))
-            handle.write(_pack_ints(self.vcc_numbers))
+        )
+        handle.write(labels_blob)
+        handle.write(_pack_ints(self.node_k))
+        handle.write(_pack_ints(self.node_parent))
+        handle.write(_pack_ints(self.run_offsets))
+        handle.write(_pack_ints(self.runs))
+        handle.write(_pack_ints(self.vcc_numbers))
+
+    def to_bytes(self) -> bytes:
+        """The exact bytes :meth:`save` would write.
+
+        Lets a writer compare against an existing file and skip the
+        rewrite (and thus the readers' hot-reload) when nothing
+        changed - e.g. re-sharding after an incremental update that
+        left most shards untouched.
+        """
+        import io
+
+        buffer = io.BytesIO()
+        self._write(buffer)
+        return buffer.getvalue()
 
     def save_atomic(self, path) -> None:
         """Write the index via a unique temp file + atomic rename.

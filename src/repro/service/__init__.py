@@ -40,7 +40,12 @@ from repro.service.aserver import (
     registry_dispatch,
 )
 from repro.service.cluster import ShardCluster
-from repro.service.handlers import ApiError, handle_request
+from repro.service.handlers import (
+    ApiError,
+    handle_mutation,
+    handle_request,
+)
+from repro.service.mutation import MutationManager
 from repro.service.registry import DatasetNotFound, IndexRegistry
 from repro.service.router import ShardRouter
 from repro.service.server import (
@@ -56,6 +61,7 @@ __all__ = [
     "DatasetNotFound",
     "DEFAULT_PORT",
     "IndexRegistry",
+    "MutationManager",
     "RouterDispatch",
     "ServerThread",
     "ServiceRequestHandler",
@@ -63,5 +69,6 @@ __all__ = [
     "ShardCluster",
     "ShardRouter",
     "create_server",
+    "handle_mutation",
     "handle_request",
 ]

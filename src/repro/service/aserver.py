@@ -37,7 +37,11 @@ from http import HTTPStatus
 from typing import Awaitable, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlencode, urlsplit
 
-from repro.service.handlers import handle_request, render_json
+from repro.service.handlers import (
+    handle_mutation,
+    handle_request,
+    render_json,
+)
 from repro.service.registry import IndexRegistry
 from repro.service.router import ShardRouter
 
@@ -46,6 +50,8 @@ LOG = logging.getLogger("repro.service")
 #: An async request executor: ``(path, params, raw_target) -> (status,
 #: body bytes)``.  ``raw_target`` is the request line's URL exactly as
 #: the client sent it, so a forwarding dispatch can relay it verbatim.
+#: Dispatches also accept ``method=`` ("GET"/"POST") and ``body=``
+#: (raw request body bytes) keyword arguments.
 Dispatch = Callable[
     [str, Dict[str, List[str]], str], Awaitable[Tuple[int, bytes]]
 ]
@@ -53,6 +59,9 @@ Dispatch = Callable[
 #: Cap on request head size (``readuntil`` limit); far above any real
 #: batch URL while still bounding a hostile or broken client.
 MAX_HEAD = 1 << 20
+
+#: Cap on POST body size (64 MiB, matching the threading server).
+MAX_BODY = 1 << 26
 
 _INTERNAL_ERROR = b'{"error":"internal server error"}'
 
@@ -62,6 +71,19 @@ def _reason(status: int) -> str:
         return HTTPStatus(status).phrase
     except ValueError:
         return "Unknown"
+
+
+def _content_length(head: bytes) -> Optional[int]:
+    """The request's Content-Length (0 when absent, None when junk)."""
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                return None
+            return length if length >= 0 else None
+    return 0
 
 
 def _response_bytes(status: int, body: bytes, close: bool) -> bytes:
@@ -143,7 +165,25 @@ class AsyncHTTPServer:
                 ):
                     return  # client went away or sent garbage beyond limit
                 close = b"connection: close" in head.lower()
-                status, body = await self._answer(head)
+                length = _content_length(head)
+                if length is None or length > MAX_BODY:
+                    status, body = 400, render_json(
+                        {"error": "missing or oversized request body"}
+                    )
+                    payload = b""
+                else:
+                    try:
+                        payload = (
+                            await reader.readexactly(length)
+                            if length
+                            else b""
+                        )
+                    except (
+                        asyncio.IncompleteReadError,
+                        ConnectionError,
+                    ):
+                        return  # client died mid-body
+                    status, body = await self._answer(head, payload)
                 writer.write(_response_bytes(status, body, close))
                 await writer.drain()
                 if close:
@@ -157,7 +197,7 @@ class AsyncHTTPServer:
             except (ConnectionError, TimeoutError):
                 pass
 
-    async def _answer(self, head: bytes) -> Tuple[int, bytes]:
+    async def _answer(self, head: bytes, body: bytes) -> Tuple[int, bytes]:
         """Parse one request head and dispatch it; never raises."""
         try:
             request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
@@ -165,13 +205,18 @@ class AsyncHTTPServer:
             if len(parts) < 2:
                 return 400, render_json({"error": "malformed request line"})
             method, target = parts[0], parts[1]
-            if method != "GET":
+            if method not in ("GET", "POST"):
                 return 501, render_json(
                     {"error": f"unsupported method {method!r}"}
                 )
             url = urlsplit(target)
-            return await self._dispatch(url.path, parse_qs(url.query),
-                                        target)
+            return await self._dispatch(
+                url.path,
+                parse_qs(url.query),
+                target,
+                method=method,
+                body=body,
+            )
         except Exception:
             LOG.exception("unhandled error in async dispatch")
             return 500, _INTERNAL_ERROR
@@ -250,6 +295,7 @@ class RouterDispatch:
         self,
         router: ShardRouter,
         shard_addresses: List[Tuple[str, int]],
+        mutate=None,
     ) -> None:
         if len(shard_addresses) != router.num_shards:
             raise ValueError(
@@ -260,8 +306,28 @@ class RouterDispatch:
         self._pools = [
             _UpstreamPool(host, port) for host, port in shard_addresses
         ]
+        #: ``(path, params, body) -> (status, payload dict)``, run off
+        #: the event loop.  The router owns mutations: it updates the
+        #: full index and re-shards changed files, and shard workers
+        #: pick the new bytes up via their own hot reload - so POSTs
+        #: never fan out.
+        self._mutate = mutate
 
-    async def __call__(self, path, params, target=None) -> Tuple[int, bytes]:
+    async def __call__(
+        self, path, params, target=None, method="GET", body=b""
+    ) -> Tuple[int, bytes]:
+        if method == "POST":
+            if self._mutate is None:
+                return 405, render_json(
+                    {"error": "mutations are not enabled on this router"}
+                )
+            # Classification + localized re-enumeration is CPU work
+            # seconds long in the worst case; to_thread keeps the
+            # event loop answering reads meanwhile.
+            status, payload = await asyncio.to_thread(
+                self._mutate, path, params, body
+            )
+            return status, render_json(payload)
         plan = self._router.plan(path, params)
         kind = plan[0]
         if kind == "local":
@@ -313,16 +379,24 @@ def _loads(body: bytes) -> dict:
     return json.loads(body.decode("utf-8"))
 
 
-def registry_dispatch(registry: IndexRegistry) -> Dispatch:
+def registry_dispatch(registry: IndexRegistry, mutations=None) -> Dispatch:
     """A dispatch answering from a local registry (unsharded replica).
 
     Queries over a resident mmap index are microseconds of pure CPU, so
     running them inline on the event loop beats shipping them to a
-    thread pool.
+    thread pool; mutation batches (real enumeration work) go through
+    ``asyncio.to_thread``.
     """
 
-    async def dispatch(path, params, target=None) -> Tuple[int, bytes]:
-        status, payload = handle_request(registry, path, params)
+    async def dispatch(
+        path, params, target=None, method="GET", body=b""
+    ) -> Tuple[int, bytes]:
+        if method == "POST":
+            status, payload = await asyncio.to_thread(
+                handle_mutation, registry, mutations, path, params, body
+            )
+        else:
+            status, payload = handle_request(registry, path, params)
         return status, render_json(payload)
 
     return dispatch

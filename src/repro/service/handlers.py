@@ -6,7 +6,7 @@ returns ``(status, payload)``.  Keeping the routing pure makes every
 endpoint unit-testable without sockets and keeps the actual HTTP
 handler to a dozen lines.
 
-Endpoints (all ``GET``; every response is a JSON object):
+Endpoints (every response is a JSON object):
 
 ========================================  =====================================
 ``/healthz``                              liveness + registry counters
@@ -15,7 +15,13 @@ Endpoints (all ``GET``; every response is a JSON object):
 ``/v1/<ds>/same-kvcc?u=..&v=..&k=..``     do ``u``,``v`` share a k-VCC?
 ``/v1/<ds>/components-of?v=..&k=..``      the level-k components of ``v``
 ``/v1/<ds>/max-shared-level?u=..&v=..``   deepest level shared by ``u``,``v``
+``POST /v1/<ds>/edges``                   apply an edge-mutation batch
 ========================================  =====================================
+
+Mutations (:func:`handle_mutation`) go through the incremental-update
+path (:mod:`repro.index.delta`): the batch is classified against the
+live hierarchy, re-enumerated locally, appended to the dataset's delta
+log, and picked up by readers via the registry's log-aware hot reload.
 
 Batching: ``vcc-number`` accepts ``v`` repeated (one answer per value,
 in order, via the vectorized :meth:`~repro.index.query.
@@ -138,11 +144,19 @@ def _components_of(service: HierarchyQueryService, params: Params) -> dict:
     k = _k_param(params)
     token = _one(params, "v")
     components = service.components_of(_parse_vertex(token), k)
+    # Sorting the component list itself (not just each member list)
+    # makes the payload a pure function of the *set* of components, so
+    # an incrementally-maintained index and a from-scratch rebuild -
+    # whose node orders legitimately differ - answer byte-identically.
+    rendered = sorted(
+        (_sorted_labels(c) for c in components),
+        key=lambda labels: [str(label) for label in labels],
+    )
     return {
         "v": token,
         "k": k,
-        "count": len(components),
-        "components": [_sorted_labels(c) for c in components],
+        "count": len(rendered),
+        "components": rendered,
     }
 
 
@@ -217,6 +231,87 @@ def handle_request(
         # at all.  The body stays generic (no internals leak to
         # clients); the traceback goes to the server log.
         LOG.exception("unhandled error serving %s %s", path, params)
+        return 500, {"error": "internal server error"}
+
+
+def handle_mutation(
+    registry, mutations, path: str, params: Params, body: bytes
+) -> Tuple[int, dict]:
+    """Execute one ``POST /v1/<ds>/edges`` batch; never raises.
+
+    ``registry`` only needs membership tests for dataset names (the
+    full :class:`IndexRegistry` in a replica, a plain name set in the
+    sharded router); ``mutations`` is the
+    :class:`~repro.service.mutation.MutationManager` holding the
+    updaters, or ``None`` when the deployment is read-only.  The body
+    is JSON: ``{"mutations": [{"op": "insert"|"delete", "u": ...,
+    "v": ...}, ...]}``, labels as strings or ints (string tokens go
+    through the same canonical-int rule as query parameters).
+
+    Statuses: 404 unknown route/dataset, 405 non-edges POST target,
+    409 dataset registered but not mutable (served from a bare index
+    file with no graph to update against), 400 bad JSON or a batch the
+    updater rejects (e.g. a self loop), 500 anything else (logged).
+    """
+    try:
+        parts = path.strip("/").split("/")
+        if len(parts) != 3 or parts[0] != "v1":
+            raise ApiError(404, f"no POST route for {path!r}")
+        _, dataset, endpoint = parts
+        if endpoint != "edges":
+            raise ApiError(
+                405, f"endpoint {endpoint!r} does not accept POST"
+            )
+        if dataset not in registry:
+            raise ApiError(
+                404, f"unknown dataset {dataset!r}; see /datasets"
+            )
+        if mutations is None or not mutations.mutable(dataset):
+            raise ApiError(
+                409,
+                f"dataset {dataset!r} is not mutable (no source graph "
+                f"registered for incremental updates)",
+            )
+        try:
+            decoded = json.loads(body.decode("utf-8")) if body else None
+        except (ValueError, UnicodeDecodeError):
+            raise ApiError(400, "request body must be valid JSON") from None
+        if (
+            not isinstance(decoded, dict)
+            or not isinstance(decoded.get("mutations"), list)
+        ):
+            raise ApiError(
+                400,
+                "request body must be a JSON object with a "
+                "'mutations' list",
+            )
+        batch = []
+        for entry in decoded["mutations"]:
+            if not isinstance(entry, dict):
+                raise ApiError(
+                    400, f"each mutation must be an object, got {entry!r}"
+                )
+            try:
+                op, u, v = entry["op"], entry["u"], entry["v"]
+            except KeyError as exc:
+                raise ApiError(
+                    400, f"mutation missing key {exc.args[0]!r}"
+                ) from None
+            if isinstance(u, str):
+                u = _parse_vertex(u)
+            if isinstance(v, str):
+                v = _parse_vertex(v)
+            batch.append({"op": op, "u": u, "v": v})
+        summary = mutations.apply(dataset, batch)
+        return 200, {"dataset": dataset, **summary}
+    except ApiError as exc:
+        return exc.status, {"error": exc.message}
+    except ValueError as exc:
+        return 400, {"error": str(exc)}
+    except Exception:
+        LOG.exception(
+            "unhandled error applying mutations %s %s", path, params
+        )
         return 500, {"error": "internal server error"}
 
 

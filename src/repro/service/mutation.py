@@ -1,0 +1,85 @@
+"""Serve-side ownership of the incremental index updaters.
+
+A serving process that accepts ``POST /v1/<ds>/edges`` needs, per
+mutable dataset, one :class:`~repro.index.delta.IndexUpdater` - the
+object holding the live adjacency and hierarchy forest that batches
+are classified against.  The manager owns those updaters:
+
+* **registration** - ``register`` records the index path and a
+  zero-argument *graph loader* (the graph the base index was built
+  from, e.g. a dataset-cache load).  Nothing is loaded yet; a dataset
+  served from a bare index file with no known source graph simply
+  never registers and stays read-only (409 from the handler).
+* **lazy construction** - the updater (and its graph load) happens on
+  the first batch, under the manager lock.
+* **serialized application** - one lock covers every ``apply``:
+  batches across datasets serialize, which keeps the delta log append
+  and the forest mutation trivially consistent.  Mutation traffic is
+  orders of magnitude rarer than queries; queries never take this
+  lock (readers see updates via the registry's log-aware hot reload).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+from repro.index.delta import IndexUpdater
+
+
+class _Registration:
+    __slots__ = ("path", "loader", "updater")
+
+    def __init__(self, path: str, loader: Callable[[], object]) -> None:
+        self.path = path
+        self.loader = loader
+        self.updater: Optional[IndexUpdater] = None
+
+
+class MutationManager:
+    """Lazily-built, lock-serialized updaters for mutable datasets."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._datasets: Dict[str, _Registration] = {}
+
+    def register(
+        self, name: str, index_path, graph_loader: Callable[[], object]
+    ) -> None:
+        """Declare ``name`` mutable: its index file plus a callable
+        returning the graph that index was built from."""
+        with self._lock:
+            self._datasets[name] = _Registration(
+                str(index_path), graph_loader
+            )
+
+    def mutable(self, name: str) -> bool:
+        """Whether ``name`` was registered with a graph loader."""
+        with self._lock:
+            return name in self._datasets
+
+    def names(self):
+        """The registered (mutable) dataset names, sorted."""
+        with self._lock:
+            return sorted(self._datasets)
+
+    def updater(self, name: str) -> IndexUpdater:
+        """The (lazily constructed) updater for ``name``."""
+        with self._lock:
+            return self._updater_locked(name)
+
+    def apply(self, name: str, mutations) -> dict:
+        """Apply one batch to ``name``; returns the updater summary."""
+        with self._lock:
+            updater = self._updater_locked(name)
+            return updater.apply(mutations)
+
+    def _updater_locked(self, name: str) -> IndexUpdater:
+        registration = self._datasets.get(name)
+        if registration is None:
+            raise KeyError(name)
+        if registration.updater is None:
+            registration.updater = IndexUpdater(
+                registration.path, graph=registration.loader()
+            )
+        return registration.updater

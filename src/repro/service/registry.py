@@ -10,10 +10,12 @@ memory at any moment.
   touching a dataset moves it to the fresh end, loading one past the
   cap evicts the stalest.  Registrations themselves are never dropped,
   so an evicted dataset transparently reloads on its next query;
-* **hot reload** - every access re-stats the file; a changed
-  ``(mtime_ns, size)`` signature drops the resident index and reloads
-  from disk, so rebuilding an index behind a running server takes
-  effect on the next request with no restart.  A *failed* stat with a
+* **hot reload** - every access re-stats the index file *and* its
+  delta log; a changed ``(mtime_ns, size)`` signature of either drops
+  the resident index and reloads from disk (with the log overlay
+  applied), so rebuilding an index - or appending incremental deltas -
+  behind a running server takes effect on the next request with no
+  restart.  A *failed* stat with a
   resident index keeps serving the resident copy (counted as
   ``stat_errors``) instead of failing a dataset whose in-memory state
   is still valid;
@@ -47,8 +49,8 @@ import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+from repro.index.delta import delta_log_path, load_effective_index
 from repro.index.query import HierarchyQueryService
-from repro.index.store import HierarchyIndex
 
 
 class DatasetNotFound(KeyError):
@@ -64,14 +66,28 @@ class _Entry:
         self.name = name
         self.path = path
         self.service: Optional[HierarchyQueryService] = None
-        #: ``(mtime_ns, size)`` of the file backing ``service``.
-        self.signature: Optional[Tuple[int, int]] = None
+        #: ``(mtime_ns, size)`` of the base file and its delta log.
+        self.signature: Optional[Tuple[int, int, int, int]] = None
 
 
-def _file_signature(path: str) -> Tuple[int, int]:
-    """The freshness key hot reload compares: mtime (ns) and size."""
+def _file_signature(path: str) -> Tuple[int, int, int, int]:
+    """The freshness key hot reload compares.
+
+    Base-file mtime (ns) and size, then the same pair for the sidecar
+    delta log (zeros when absent).  An incremental update appends to
+    the log without touching the base, so the log's stat must join the
+    key or a served overlay would go stale until the next compaction.
+    A log stat failure maps to the absent pair - the base stat alone
+    decides whether the entry survives, same as before logs existed.
+    """
     status = os.stat(path)
-    return (status.st_mtime_ns, status.st_size)
+    log_mtime_ns, log_size = 0, 0
+    try:
+        log_status = os.stat(delta_log_path(path))
+        log_mtime_ns, log_size = log_status.st_mtime_ns, log_status.st_size
+    except OSError:
+        pass
+    return (status.st_mtime_ns, status.st_size, log_mtime_ns, log_size)
 
 
 class IndexRegistry:
@@ -168,7 +184,7 @@ class IndexRegistry:
                 self._counters["reloads"] += 1
             if entry.service is None:
                 entry.service = HierarchyQueryService(
-                    HierarchyIndex.load(entry.path, mmap=self._mmap)
+                    load_effective_index(entry.path, mmap=self._mmap)
                 )
                 entry.signature = signature
                 self._counters["loads"] += 1

@@ -3,9 +3,12 @@
 One :class:`~http.server.ThreadingHTTPServer` (a thread per connection,
 no third-party dependency) whose request handler parses the URL and
 defers to :func:`repro.service.handlers.handle_request`.  Suitable for
-the paper's read-only workload: every endpoint is a GET over immutable,
-mmap-shared arrays, so concurrent handler threads never contend on
-anything but the registry's LRU lock.
+the paper's read-dominated workload: query endpoints are GETs over
+immutable, mmap-shared arrays, so concurrent handler threads never
+contend on anything but the registry's LRU lock.  The one write path -
+``POST /v1/<ds>/edges`` - serializes through the server's optional
+:class:`~repro.service.mutation.MutationManager`; readers pick up the
+result via the registry's delta-log-aware hot reload, never a lock.
 
 Start it from the CLI (``repro serve web=web.kvccidx --port 8716``) or
 embed it::
@@ -23,11 +26,18 @@ import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.service.handlers import handle_request, render_json
+from repro.service.handlers import (
+    handle_mutation,
+    handle_request,
+    render_json,
+)
 from repro.service.registry import IndexRegistry
 
 #: Default TCP port of ``repro serve`` (chosen to be collision-poor).
 DEFAULT_PORT = 8716
+
+#: Largest accepted POST body (64 MiB - far above any sane batch).
+MAX_BODY = 1 << 26
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -68,6 +78,42 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
             status = 500
             body = render_json({"error": "internal server error"})
+        self._respond(status, body)
+
+    def do_POST(self) -> None:
+        """Apply one edge-mutation batch (``POST /v1/<ds>/edges``)."""
+        try:
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                length = -1
+            if length < 0 or length > MAX_BODY:
+                self._respond(
+                    400,
+                    render_json(
+                        {"error": "missing or oversized request body"}
+                    ),
+                )
+                return
+            raw = self.rfile.read(length) if length else b""
+            url = urlsplit(self.path)
+            status, payload = handle_mutation(
+                self.server.registry,
+                self.server.mutations,
+                url.path,
+                parse_qs(url.query),
+                raw,
+            )
+            body = render_json(payload)
+        except Exception:
+            logging.getLogger("repro.service").exception(
+                "unhandled error serving POST %s", self.path
+            )
+            status = 500
+            body = render_json({"error": "internal server error"})
+        self._respond(status, body)
+
+    def _respond(self, status: int, body: bytes) -> None:
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -85,10 +131,18 @@ class ServiceServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, registry: IndexRegistry, quiet: bool) -> None:
+    def __init__(
+        self,
+        address,
+        registry: IndexRegistry,
+        quiet: bool,
+        mutations=None,
+    ) -> None:
         super().__init__(address, ServiceRequestHandler)
         self.registry = registry
         self.quiet = quiet
+        #: Optional MutationManager; ``None`` means read-only (POST 409s).
+        self.mutations = mutations
 
 
 def create_server(
@@ -96,11 +150,14 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = DEFAULT_PORT,
     quiet: bool = True,
+    mutations=None,
 ) -> ServiceServer:
     """Bind (but do not start) the serving HTTP server.
 
     ``port=0`` binds an ephemeral port; read the real one back from
     ``server.server_address``.  Call ``serve_forever()`` to run and
-    ``shutdown()`` (from another thread) to stop.
+    ``shutdown()`` (from another thread) to stop.  ``mutations`` (a
+    :class:`~repro.service.mutation.MutationManager`) enables
+    ``POST /v1/<ds>/edges`` for its registered datasets.
     """
-    return ServiceServer((host, port), registry, quiet)
+    return ServiceServer((host, port), registry, quiet, mutations)

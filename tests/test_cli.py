@@ -357,8 +357,9 @@ class TestServeBuildMissing:
         resolved = prepare_serve_datasets(
             specs, build_missing=True, cache_dir=cache_dir
         )
-        (name, index_path), = resolved
+        (name, index_path, source), = resolved
         assert name == "fig1"
+        assert source == graph_file  # token rides along: mutable
         from repro.index import load_index
 
         index = load_index(index_path)
@@ -378,11 +379,11 @@ class TestServeBuildMissing:
         from repro.index import load_index
 
         specs = [("fig1", graph_file)]
-        (_, index_path), = prepare_serve_datasets(
+        (_, index_path, _), = prepare_serve_datasets(
             specs, build_missing=True, cache_dir=cache_dir
         )
         Path(index_path).write_bytes(b"rotten bytes, not an index")
-        (_, again_path), = prepare_serve_datasets(
+        (_, again_path, _), = prepare_serve_datasets(
             specs, build_missing=True, cache_dir=cache_dir
         )
         assert again_path == index_path
@@ -397,7 +398,7 @@ class TestServeBuildMissing:
 
         assert prepare_serve_datasets(
             [("g", str(index_file))], build_missing=True
-        ) == [("g", str(index_file))]
+        ) == [("g", str(index_file), None)]
 
     def test_missing_without_flag_raises(self, tmp_path):
         from repro.cli import prepare_serve_datasets

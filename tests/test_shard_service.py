@@ -471,13 +471,25 @@ class TestAsyncServer:
             assert status == 200
             assert json.loads(body)["vcc_number"] == 2
 
-    def test_non_get_answers_501(self, registry):
+    def test_unsupported_method_answers_501(self, registry):
+        server = AsyncHTTPServer(registry_dispatch(registry))
+        with ServerThread(server) as (host, port):
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                connection.request("PUT", "/healthz", body=b"{}")
+                assert connection.getresponse().status == 501
+            finally:
+                connection.close()
+
+    def test_post_to_non_mutation_route_answers_404(self, registry):
+        """POST is a supported method now; a non-``/edges`` target is a
+        routing miss, not a 501."""
         server = AsyncHTTPServer(registry_dispatch(registry))
         with ServerThread(server) as (host, port):
             connection = http.client.HTTPConnection(host, port, timeout=10)
             try:
                 connection.request("POST", "/healthz", body=b"{}")
-                assert connection.getresponse().status == 501
+                assert connection.getresponse().status == 404
             finally:
                 connection.close()
 
