@@ -492,6 +492,7 @@ def _serve_sharded(args: argparse.Namespace, datasets) -> int:
     """
     import asyncio
     import os
+    import threading
 
     from repro.data import default_cache_dir
     from repro.index import ensure_shards, refresh_shards, ring_from_manifest
@@ -530,19 +531,28 @@ def _serve_sharded(args: argparse.Namespace, datasets) -> int:
     try:
         mutations = _build_mutation_manager(datasets, args.cache_dir)
         dataset_names = {name for name, _, _ in datasets}
+        mutate_lock = threading.Lock()
 
         def mutate(path, params, body):
             # The router owns the full index: apply the batch there,
             # then rewrite only the shard files whose bytes changed -
             # shard workers pick them up via their own hot reload.
-            status, payload = handle_mutation(
-                dataset_names, mutations, path, params, body
-            )
-            if status == 200:
-                name = payload["dataset"]
-                refresh_shards(
-                    mutations.updater(name).index, shard_dirs[name]
+            # apply + refresh must be ONE critical section: each POST
+            # runs on its own to_thread worker, and while apply alone
+            # is lock-serialized inside the manager, an unserialized
+            # refresh could re-shard from a newer index snapshot than
+            # a concurrent writer, leaving shard files interleaved
+            # across two batches (with nothing to repair them until
+            # the next mutation).
+            with mutate_lock:
+                status, payload = handle_mutation(
+                    dataset_names, mutations, path, params, body
                 )
+                if status == 200:
+                    name = payload["dataset"]
+                    refresh_shards(
+                        mutations.updater(name).index, shard_dirs[name]
+                    )
             return status, payload
 
         router = ShardRouter(rings)

@@ -54,6 +54,13 @@ the base index file, then length-prefixed records::
 
     <u32 payload_len> <u32 crc32(payload)> <payload: JSON>
 
+The first record of a fresh log is a *graph-binding meta record*
+(``{"meta": "graph", "vertices": ..., "edges": ..., "digest": ...}``)
+digesting the edge set of the source graph the base was built from; it
+is a no-op under replay, but lets :class:`IndexUpdater` reject a stale
+graph loudly - the trap being the original source graph offered after
+a :meth:`IndexUpdater.compact` already folded mutations into the base.
+
 A reader stops at the first incomplete or checksum-failing record, so
 a torn tail from a crashed append is silently ignored (the prefix is
 still a valid overlay); a digest that does not match the current base
@@ -295,6 +302,9 @@ def load_effective_index(path, mmap: bool = True) -> HierarchyIndex:
     records: Optional[List[dict]] = None
     if os.path.exists(log_path):
         records, _ = read_delta_log(log_path, _file_digest(path))
+    if records:
+        # Graph-binding meta records carry no overlay content.
+        records = [r for r in records if not r.get("meta")]
     if not records:
         return HierarchyIndex.load(path, mmap=mmap)
     forest = _Forest.from_index(HierarchyIndex.load(path, mmap=False))
@@ -383,6 +393,11 @@ class IndexUpdater:
                 )
             self._adj[iu].add(iv)
             self._adj[iv].add(iu)
+        # The digest of the *source* graph binds the delta log to the
+        # graph its base was built from (see the meta record written by
+        # _reset_log); captured before replay so it describes the base.
+        self._graph_digest = self._adj_digest()
+        self._graph_shape = (len(self._labels), self.num_edges)
         records, valid_length = read_delta_log(self.log_path, self._digest)
         if records is None:
             # Absent, or bound to some other base: start (over) empty.
@@ -390,13 +405,60 @@ class IndexUpdater:
             if os.path.exists(self.log_path):
                 self._reset_log()
         else:
+            self._check_graph_binding(records)
             self._log_length = valid_length
             self._truncate_torn_tail()
             for record in records:
+                if record.get("meta"):
+                    continue
                 self._replay_graph(record)
                 self._forest.apply_record(record)
         self.last_stats: Optional[RunStats] = None
         self._index = self._forest.to_index()
+
+    def _check_graph_binding(self, records: List[dict]) -> None:
+        """Fail loudly when the provided graph is not the one this
+        base + delta log pair was created against.
+
+        The trap this closes: after :meth:`compact`, the base file
+        already folds every logged mutation, so rebuilding an updater
+        from the *original* source graph would silently pass the
+        subset check above (original vertices are a subset of the
+        compacted labels) while its adjacency lacks every folded edge,
+        corrupting all future classification.
+        """
+        meta = next(
+            (r for r in records if r.get("meta") == "graph"), None
+        )
+        if meta is None:  # pre-binding log: nothing to check against
+            return
+        if meta.get("digest") == self._graph_digest:
+            return
+        vertices, edges = self._graph_shape
+        raise ValueError(
+            f"graph mismatch for {self.path!r}: its delta log was "
+            f"created against a graph with {meta.get('vertices')} "
+            f"vertices and {meta.get('edges')} edges, but the provided "
+            f"graph has {vertices} and {edges} (or the same counts "
+            f"with different edges); after compact() the updater must "
+            f"be rebuilt from the mutated graph, not the original "
+            f"source"
+        )
+
+    def _adj_digest(self) -> str:
+        """Deterministic digest of the current id-space edge set.
+
+        Ids are the interning order of the base labels (stable across
+        restarts of the same base file), so two updaters agree on this
+        digest exactly when they were given the same graph.
+        """
+        digest = hashlib.sha256()
+        digest.update(struct.pack("<q", len(self._adj)))
+        for iu, row in enumerate(self._adj):
+            for iv in sorted(row):
+                if iv > iu:
+                    digest.update(struct.pack("<qq", iu, iv))
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # State
@@ -425,46 +487,145 @@ class IndexUpdater:
         the graph's vocabulary (unknown labels are created by inserts).
         Duplicate inserts and deletes of absent edges are counted as
         skipped, not errors; self loops raise ``ValueError`` (as the
-        graph layer does).  The whole batch lands as **one** delta
-        record, appended after the in-memory state is updated, so a
-        reader sees either the previous overlay or the whole batch.
+        graph layer does).  A batch is all-or-nothing: it is fully
+        validated against staged state before the updater is touched,
+        so a rejected batch (unknown op, malformed entry, self loop)
+        leaves adjacency, labels, forest and log exactly as they were.
+        The whole batch lands as **one** delta record, so a reader sees
+        either the previous overlay or the whole batch.
         """
         started = perf_counter()
-        applied: List[Tuple[str, int, int]] = []
-        new_labels: List[Hashable] = []
-        skipped = 0
-        for op, u, v in self._normalized(mutations):
-            if op == "+":
-                iu = self._intern(u, new_labels)
-                iv = self._intern(v, new_labels)
-                if iu == iv:
-                    raise ValueError(f"self loop rejected: {u!r}")
-                if iv in self._adj[iu]:
-                    skipped += 1
-                    continue
-                self._adj[iu].add(iv)
-                self._adj[iv].add(iu)
-            else:
-                iu = self._resolve(u)
-                iv = self._resolve(v)
-                if (
-                    iu is None
-                    or iv is None
-                    or iu == iv
-                    or iv not in self._adj[iu]
-                ):
-                    skipped += 1
-                    continue
-                self._adj[iu].discard(iv)
-                self._adj[iv].discard(iu)
-            applied.append((op, iu, iv))
+        applied, new_labels, skipped = self._stage(mutations)
         if not applied and not new_labels:
             return self._summary(started, skipped, None)
-        record = self._recompute(applied, new_labels)
+        self._commit_graph(applied, new_labels)
+        try:
+            record = self._recompute(applied, new_labels)
+            self._append_record(record)
+        except BaseException:
+            # Undo the adjacency/label commit and drop any torn append
+            # so a failure mid-recompute or mid-write (engine bug, disk
+            # full) leaves memory and log agreeing on the pre-batch
+            # state.
+            self._rollback_graph(applied, new_labels)
+            self._truncate_torn_tail()
+            raise
         self._forest.apply_record(record)
-        self._append_record(record)
         self._index = self._forest.to_index()
         return self._summary(started, skipped, record)
+
+    def _stage(self, mutations):
+        """Validate and normalize a whole batch without touching state.
+
+        Runs the dedup/skip/self-loop logic of :meth:`apply` against
+        *staged* overlays (new labels, edge add/remove sets) so any
+        ``ValueError`` is raised before the updater changes at all.
+        Returns ``(applied, new_labels, skipped)`` with ids already
+        assigned exactly as :meth:`_commit_graph` will intern them.
+        """
+        applied: List[Tuple[str, int, int]] = []
+        new_labels: List[Hashable] = []
+        stage_ids: Dict[Hashable, int] = {}
+        base_n = len(self._labels)
+        added: Set[Tuple[int, int]] = set()
+        removed: Set[Tuple[int, int]] = set()
+        skipped = 0
+
+        def resolve(label):
+            vid = stage_ids.get(label)
+            if vid is not None:
+                return vid
+            vid = self._resolve(label)
+            if vid is not None:
+                return vid
+            # Staged labels honour the same int/str fallback as _ids.
+            if isinstance(label, str):
+                try:
+                    return stage_ids.get(int(label))
+                except ValueError:
+                    return None
+            if isinstance(label, int) and not isinstance(label, bool):
+                return stage_ids.get(str(label))
+            return None
+
+        def intern(label):
+            vid = resolve(label)
+            if vid is not None:
+                return vid
+            vid = base_n + len(new_labels)
+            new_labels.append(label)
+            stage_ids[label] = vid
+            return vid
+
+        def present(iu, iv, pair):
+            if pair in added:
+                return True
+            if pair in removed:
+                return False
+            return iu < base_n and iv in self._adj[iu]
+
+        for op, u, v in self._normalized(mutations):
+            if op == "+":
+                iu = intern(u)
+                iv = intern(v)
+                if iu == iv:
+                    raise ValueError(f"self loop rejected: {u!r}")
+                pair = (iu, iv) if iu < iv else (iv, iu)
+                if present(iu, iv, pair):
+                    skipped += 1
+                    continue
+                if pair in removed:
+                    removed.discard(pair)
+                else:
+                    added.add(pair)
+            else:
+                iu = resolve(u)
+                iv = resolve(v)
+                if iu is None or iv is None or iu == iv:
+                    skipped += 1
+                    continue
+                pair = (iu, iv) if iu < iv else (iv, iu)
+                if not present(iu, iv, pair):
+                    skipped += 1
+                    continue
+                if pair in added:
+                    added.discard(pair)
+                else:
+                    removed.add(pair)
+            applied.append((op, iu, iv))
+        return applied, new_labels, skipped
+
+    def _commit_graph(
+        self,
+        applied: List[Tuple[str, int, int]],
+        new_labels: List[Hashable],
+    ) -> None:
+        """Apply a fully staged batch to the live adjacency/labels -
+        the same replay a logged record gets on reload."""
+        self._replay_graph(
+            {
+                "labels": new_labels,
+                "edges": [[op, iu, iv] for op, iu, iv in applied],
+            }
+        )
+
+    def _rollback_graph(
+        self,
+        applied: List[Tuple[str, int, int]],
+        new_labels: List[Hashable],
+    ) -> None:
+        """Inverse of :meth:`_commit_graph` (ops undone in reverse)."""
+        for op, iu, iv in reversed(applied):
+            if op == "+":
+                self._adj[iu].discard(iv)
+                self._adj[iv].discard(iu)
+            else:
+                self._adj[iu].add(iv)
+                self._adj[iv].add(iu)
+        for label in reversed(new_labels):
+            del self._ids[label]
+            self._labels.pop()
+            self._adj.pop()
 
     def compact(self) -> None:
         """Fold the overlay into the base file and restart the log.
@@ -475,9 +636,17 @@ class IndexUpdater:
         leaves the old log pointing at a digest the new base no longer
         has, so readers ignore it - the compacted base already contains
         every folded mutation.
+
+        The fresh log's graph-binding meta record is rebound to the
+        *mutated* graph (the one the compacted base now describes), so
+        a later ``IndexUpdater(path, graph=original_source)`` fails
+        loudly instead of silently classifying against a stale
+        adjacency.
         """
         self._index.save_atomic(self.path)
         self._digest = _file_digest(self.path)
+        self._graph_digest = self._adj_digest()
+        self._graph_shape = (len(self._labels), self.num_edges)
         self._reset_log()
         self._forest = _Forest.from_index(self._index)
         self._index = self._forest.to_index()
@@ -520,17 +689,6 @@ class IndexUpdater:
         if isinstance(label, int) and not isinstance(label, bool):
             return self._ids.get(str(label))
         return None
-
-    def _intern(self, label, new_labels: List[Hashable]) -> int:
-        vid = self._resolve(label)
-        if vid is not None:
-            return vid
-        vid = len(self._labels)
-        self._labels.append(label)
-        self._ids[label] = vid
-        self._adj.append(set())
-        new_labels.append(label)
-        return vid
 
     def _replay_graph(self, record: dict) -> None:
         """Re-apply one logged record's labels and edges to ``_adj``."""
@@ -695,17 +853,35 @@ class IndexUpdater:
     # Log maintenance
     # ------------------------------------------------------------------
     def _reset_log(self) -> None:
-        """Atomically (re)start the log as a bare header for the
-        current base digest."""
+        """Atomically (re)start the log: the header for the current
+        base digest plus one graph-binding meta record.
+
+        The meta record (``{"meta": "graph", ...}``) names the graph
+        the base was built from - vertex/edge counts for the error
+        message, an edge-set digest for the actual check - and is a
+        no-op under record replay, so old readers skip it harmlessly.
+        """
         import tempfile
 
+        vertices, edges = self._graph_shape
+        payload = json.dumps(
+            {
+                "meta": "graph",
+                "vertices": vertices,
+                "edges": edges,
+                "digest": self._graph_digest,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        blob = _log_header(self._digest) + frame
         directory = (
             os.path.dirname(os.path.abspath(self.log_path)) or "."
         )
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".delta.tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                handle.write(_log_header(self._digest))
+                handle.write(blob)
             os.replace(tmp, self.log_path)
         except BaseException:
             try:
@@ -713,7 +889,7 @@ class IndexUpdater:
             except OSError:
                 pass
             raise
-        self._log_length = _HEADER_LEN
+        self._log_length = len(blob)
 
     def _truncate_torn_tail(self) -> None:
         """Drop garbage bytes after the good record prefix, if any."""

@@ -254,13 +254,35 @@ def write_shards(
         "shards": records,
         "source": source or {},
     }
-    manifest_path = os.path.join(out_dir, MANIFEST_NAME)
-    blob = json.dumps(manifest, indent=2, sort_keys=True)
-    tmp = manifest_path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(blob)
-    os.replace(tmp, manifest_path)
+    _write_manifest(out_dir, manifest)
     return manifest
+
+
+def _write_manifest(shard_dir: str, manifest: dict) -> None:
+    """Atomically publish ``manifest.json`` into a shard directory.
+
+    A *unique* temp name (not a fixed ``.tmp``) so concurrent writers -
+    two cold boots, or two mutation refreshes - each complete their own
+    write and race only on the final ``os.replace``, never truncating
+    each other mid-write.
+    """
+    import tempfile
+
+    blob = json.dumps(manifest, indent=2, sort_keys=True)
+    manifest_path = os.path.join(shard_dir, MANIFEST_NAME)
+    fd, tmp = tempfile.mkstemp(
+        dir=shard_dir, prefix=MANIFEST_NAME + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+        os.replace(tmp, manifest_path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_manifest(shard_dir: str) -> dict:
@@ -404,12 +426,7 @@ def refresh_shards(
             }
         )
     manifest["shards"] = records
-    manifest_path = os.path.join(shard_dir, MANIFEST_NAME)
-    blob = json.dumps(manifest, indent=2, sort_keys=True)
-    tmp = manifest_path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(blob)
-    os.replace(tmp, manifest_path)
+    _write_manifest(shard_dir, manifest)
     return changed
 
 

@@ -167,10 +167,15 @@ class AsyncHTTPServer:
                 close = b"connection: close" in head.lower()
                 length = _content_length(head)
                 if length is None or length > MAX_BODY:
+                    # The declared body is unreadable (junk length) or
+                    # deliberately unread (oversized), so its bytes are
+                    # still in the stream; keeping the connection alive
+                    # would parse them as the next request head.  Close
+                    # instead of desyncing.
+                    close = True
                     status, body = 400, render_json(
                         {"error": "missing or oversized request body"}
                     )
-                    payload = b""
                 else:
                     try:
                         payload = (

@@ -244,6 +244,51 @@ class TestStructuredMutations:
         with pytest.raises(ValueError, match="unknown mutation op"):
             updater.apply([{"op": "upsert", "u": 0, "v": 1}])
 
+    def test_rejected_batch_is_all_or_nothing(self, tmp_path):
+        """A batch that fails validation mid-way changes nothing.
+
+        Regression: valid leading entries used to land in the live
+        adjacency (and a self-loop endpoint used to be interned as a
+        phantom vertex) before the ValueError fired, leaving in-memory
+        state diverged from the delta log - and the phantom label
+        shifted every subsequently-logged label id.
+        """
+        graph = ring_of_cliques(2, 4)
+        updater = fresh_updater(tmp_path, graph)
+        before = updater.index
+        vertices_before = updater.num_vertices
+        edges_before = updater.num_edges
+        # A valid insert riding ahead of a self loop...
+        with pytest.raises(ValueError, match="self loop"):
+            updater.apply(
+                [
+                    {"op": "insert", "u": 0, "v": 5},
+                    {"op": "insert", "u": 9, "v": 9},
+                ]
+            )
+        # ...and ahead of an unknown op, including a brand-new vertex.
+        with pytest.raises(ValueError, match="unknown mutation op"):
+            updater.apply(
+                [
+                    {"op": "insert", "u": "fresh", "v": 0},
+                    {"op": "frobnicate", "u": 0, "v": 1},
+                ]
+            )
+        assert updater.index == before
+        assert updater.num_vertices == vertices_before
+        assert updater.num_edges == edges_before
+        assert not os.path.exists(delta_log_path(updater.path))
+        # The untouched updater still tracks a rebuild from here on,
+        # and its new-label ids were not shifted by any phantom intern.
+        mirror = graph.copy()
+        batch = [
+            {"op": "insert", "u": "fresh", "v": 0},
+            {"op": "insert", "u": "fresh", "v": 1},
+        ]
+        apply_mutations(mirror, batch)
+        updater.apply(batch)
+        assert_equivalent(updater, mirror)
+
     def test_compact_folds_log_and_reopens(self, tmp_path):
         graph = ring_of_cliques(2, 5)
         updater = fresh_updater(tmp_path, graph)
@@ -253,10 +298,40 @@ class TestStructuredMutations:
         updater.apply(batch)
         assert os.path.getsize(delta_log_path(updater.path)) > _HEADER_LEN
         updater.compact()
-        # Log restarts empty, base carries the folded state.
-        assert os.path.getsize(delta_log_path(updater.path)) == _HEADER_LEN
+        # Log restarts with no overlay records (only the graph-binding
+        # meta record survives), base carries the folded state.
+        records, _ = read_delta_log(
+            delta_log_path(updater.path), _file_digest(updater.path)
+        )
+        assert [r for r in records if not r.get("meta")] == []
         assert_equivalent(updater, mirror)
         # A reopened updater (compacted base + current graph) agrees.
+        reopened = IndexUpdater(updater.path, graph=mirror)
+        assert reopened.index == updater.index
+
+    def test_compact_rejects_stale_source_graph(self, tmp_path):
+        """After compact() the original source graph must be refused.
+
+        The compacted base folds every logged mutation, so the original
+        graph's vertices are a subset of its labels and the membership
+        check alone would accept it - while the rebuilt adjacency lacks
+        every folded edge, silently corrupting future classification.
+        The log's graph-binding meta record turns that into a loud
+        construction failure.
+        """
+        graph = ring_of_cliques(2, 5)
+        updater = fresh_updater(tmp_path, graph)
+        mirror = graph.copy()
+        batch = [
+            {"op": "delete", "u": 0, "v": 1},
+            {"op": "insert", "u": "extra", "v": 0},
+        ]
+        apply_mutations(mirror, batch)
+        updater.apply(batch)
+        updater.compact()
+        with pytest.raises(ValueError, match="graph mismatch"):
+            IndexUpdater(updater.path, graph=graph)
+        # The graph actually matching the compacted base still loads.
         reopened = IndexUpdater(updater.path, graph=mirror)
         assert reopened.index == updater.index
 
@@ -302,7 +377,7 @@ class TestCrashSafety:
         with open(log, "rb") as handle:
             blob = handle.read()
         records, _ = read_delta_log(log, updater._digest)
-        assert len(records) == 2
+        assert len([r for r in records if not r.get("meta")]) == 2
         # Chop mid-way through the second record: a crashed append.
         with open(log, "wb") as handle:
             handle.write(blob[: len(blob) - 3])
@@ -311,7 +386,7 @@ class TestCrashSafety:
         recovered = IndexUpdater(updater.path, graph=graph)
         assert recovered.index == states[0]
         records, _ = read_delta_log(log, updater._digest)
-        assert len(records) == 1
+        assert len([r for r in records if not r.get("meta")]) == 1
 
     def test_corrupt_checksum_ends_the_replay(self, tmp_path):
         graph, updater, states = _mutated_updater(tmp_path)
@@ -435,6 +510,43 @@ class TestHandleMutation:
         assert handle_mutation(
             registry, manager, "/v1/ring/edges", {}, bad_entry
         )[0] == 400
+
+    def test_rejected_batch_leaves_server_state_clean(self, tmp_path):
+        """A 400 batch must not leak partial edges into the updater.
+
+        The public-API reproduction of the all-or-nothing regression:
+        a valid insert followed by a self loop answers 400, and the
+        server keeps classifying against the *unchanged* graph - a
+        follow-up good batch still matches a from-scratch rebuild.
+        """
+        graph, path, registry, manager = self._setup(tmp_path)
+        poisoned = json.dumps(
+            {
+                "mutations": [
+                    {"op": "insert", "u": 1, "v": 6},
+                    {"op": "insert", "u": 3, "v": 3},
+                ]
+            }
+        ).encode()
+        status, payload = handle_mutation(
+            registry, manager, "/v1/ring/edges", {}, poisoned
+        )
+        assert status == 400
+        assert "self loop" in payload["error"]
+        updater = manager.updater("ring")
+        assert updater.num_edges == graph.num_edges
+        good = json.dumps(
+            {"mutations": [{"op": "insert", "u": 1, "v": 6}]}
+        ).encode()
+        status, _ = handle_mutation(
+            registry, manager, "/v1/ring/edges", {}, good
+        )
+        assert status == 200
+        mirror = graph.copy()
+        mirror.add_edge(1, 6)
+        assert api_answer_bytes(
+            registry.get("ring").index
+        ) == api_answer_bytes(build_index(mirror))
 
 
 # ----------------------------------------------------------------------

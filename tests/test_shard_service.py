@@ -493,6 +493,41 @@ class TestAsyncServer:
             finally:
                 connection.close()
 
+    def test_bad_content_length_closes_connection(self, registry):
+        """Junk or oversized Content-Length answers 400 *and closes*.
+
+        Regression: the 400 used to keep the connection alive without
+        reading the declared body, so the unread body bytes were parsed
+        as the next request head, desyncing the keep-alive stream.
+        """
+        import socket
+
+        from repro.service.aserver import MAX_BODY
+
+        server = AsyncHTTPServer(registry_dispatch(registry))
+        with ServerThread(server) as (host, port):
+            for declared in ("abc", str(MAX_BODY + 1)):
+                with socket.create_connection(
+                    (host, port), timeout=10
+                ) as sock:
+                    sock.sendall(
+                        (
+                            f"POST /v1/ring/edges HTTP/1.1\r\n"
+                            f"Host: {host}\r\n"
+                            f"Content-Length: {declared}\r\n\r\n"
+                        ).encode("latin-1")
+                        + b"LEFTOVER-BODY-BYTES"
+                    )
+                    blob = b""
+                    while True:
+                        chunk = sock.recv(65536)
+                        if not chunk:
+                            break  # server closed: no desync possible
+                        blob += chunk
+                    head = blob.split(b"\r\n\r\n", 1)[0]
+                    assert b" 400 " in head.split(b"\r\n")[0]
+                    assert b"connection: close" in head.lower()
+
 
 @pytest.mark.slow
 class TestShardCluster:
