@@ -14,7 +14,13 @@ or a recorded trend number:
 * **HTTP serving** - end-to-end requests/s and p50/p99 latency through
   the stdlib ``ThreadingHTTPServer`` front end, single-query GETs vs
   64-query batch GETs (trend numbers, not gated - they measure the
-  whole socket + JSON stack, most of which is not ours).
+  whole socket + JSON stack, most of which is not ours);
+* **v2 cohesion serving** - per-measure requests/s through the
+  ``/v2/<ds>/<measure>/<query>`` family over a ``KVCCCOH``
+  multi-measure index, plus the derived products (``top-communities``,
+  ``critical-vertices``, ``cohesion-strength``).  Trend numbers; the
+  load generator doubles as an endpoint correctness check (every
+  response must be 200).
 
 The *web stand-in* index (``web_graph``) is small on disk, so eager
 parsing it is cheap and the cold-start gap would drown in syscall
@@ -46,7 +52,13 @@ import time
 from typing import Callable, Dict, List, Tuple
 
 from repro.graph.generators import web_graph
-from repro.index import HierarchyIndex, HierarchyQueryService, build_index
+from repro.index import (
+    MEASURES,
+    HierarchyIndex,
+    HierarchyQueryService,
+    build_cohesion_index,
+    build_index,
+)
 from repro.service import IndexRegistry, create_server
 
 #: Shards in the production-scale stand-in (~64x the web index file).
@@ -314,6 +326,57 @@ def bench(smoke: bool, json_path: str) -> None:
                 "http_batch_p99_ms",
                 percentile(latencies_b, 0.99) * 1e3, "ms", n,
             )
+
+            # --------------------------------------- v2 cohesion path
+            coh_n = 200 if smoke else 400
+            coh_graph = web_graph(coh_n, seed=11)
+            coh_path = os.path.join(workdir, "coh.kvcccoh")
+            build_cohesion_index(coh_graph).save_atomic(coh_path)
+            registry.register("coh", coh_path)
+            coh_verts = sorted(coh_graph.vertices())
+            n_v2 = 150 if smoke else 1_000
+            for measure in MEASURES:
+                paths_m = [
+                    f"/v2/coh/{measure}/vcc-number?v={rng.choice(coh_verts)}"
+                    for _ in range(n_v2)
+                ]
+                bench_http(paths_m[:10], host, port)
+                total_m, _ = bench_http(paths_m, host, port)
+                print(
+                    f"http v2 vcc-number [{measure:5s}]: "
+                    f"{n_v2} requests = {n_v2 / total_m:8.0f} req/s"
+                )
+                record(
+                    f"http_v2_{measure}_rps", n_v2 / total_m, "req/s", coh_n
+                )
+            derived = [
+                (
+                    "top_communities",
+                    lambda: f"/v2/coh/kvcc/top-communities"
+                    f"?v={rng.choice(coh_verts)}&r=3",
+                ),
+                (
+                    "critical_vertices",
+                    lambda: f"/v2/coh/kvcc/critical-vertices"
+                    f"?v={rng.choice(coh_verts)}&k=2",
+                ),
+                (
+                    "cohesion_strength",
+                    lambda: f"/v2/coh/cohesion-strength"
+                    f"?pair={rng.choice(coh_verts)}:{rng.choice(coh_verts)}",
+                ),
+            ]
+            for name, make in derived:
+                paths_d = [make() for _ in range(n_v2)]
+                bench_http(paths_d[:10], host, port)
+                total_d, _ = bench_http(paths_d, host, port)
+                print(
+                    f"http v2 {name.replace('_', '-')}: "
+                    f"{n_v2} requests = {n_v2 / total_d:8.0f} req/s"
+                )
+                record(
+                    f"http_{name}_rps", n_v2 / total_d, "req/s", coh_n
+                )
         finally:
             server.shutdown()
             server.server_close()

@@ -12,9 +12,19 @@ Commands
     The k-VCC hierarchy levels and per-vertex vcc-numbers; runs on the
     CSR backend (optionally parallel with ``--workers``) and can
     persist the forest with ``--save-index``.
+``build-cohesion``
+    Build the multi-measure ``KVCCCOH`` cohesion index: the k-VCC,
+    k-ECC, and k-core hierarchies of one dataset, persisted side by
+    side and queryable per measure (``repro query --measure``).
 ``query``
-    Answer vcc-number / components-of / same-kvcc / max-shared-level
-    queries from a saved index file in O(1), without recomputation.
+    Answer vcc-number / components-of / same-kvcc / max-shared-level /
+    top-communities / critical-vertices / cohesion-strength queries
+    from a saved index file in O(1), without recomputation.  Every
+    subcommand mirrors its HTTP endpoint; ``--measure
+    {kvcc,kecc,kcore}`` selects the hierarchy on a cohesion index, and
+    repeatable ``-v`` / ``--pair u:v`` flags mirror the HTTP batch
+    forms (the scalar ``-u``/``-v`` pair spelling survives as a
+    deprecated shim).
 ``serve``
     Long-lived HTTP JSON service over one or more saved index files:
     mmap-backed lazy loads, LRU residency, mtime hot reload, batch
@@ -47,8 +57,13 @@ Examples
     python -m repro hierarchy graph.txt --save-index graph.kvccidx
     python -m repro query vcc-number graph.kvccidx -v 3
     python -m repro query components-of graph.kvccidx -v 3 -k 4
-    python -m repro query same-kvcc graph.kvccidx -u 3 -v 17 -k 4
-    python -m repro query max-shared-level graph.kvccidx -u 3 -v 17
+    python -m repro query same-kvcc graph.kvccidx --pair 3:17 -k 4
+    python -m repro query max-shared-level graph.kvccidx --pair 3:17
+    python -m repro build-cohesion graph.txt --out graph.kvcccoh
+    python -m repro query vcc-number graph.kvcccoh -v 3 --measure kecc
+    python -m repro query top-communities graph.kvcccoh -v 3 -r 2
+    python -m repro query critical-vertices graph.kvcccoh -v 3 -k 4
+    python -m repro query cohesion-strength graph.kvcccoh --pair 3:17
     python -m repro serve web=graph.kvccidx --port 8716
     python -m repro serve web=graph.kvccidx --shards 4
     python -m repro serve youtube=name:youtube --build-missing
@@ -295,35 +310,164 @@ def cmd_hierarchy(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_query(args: argparse.Namespace) -> int:
-    """Answer one query from a saved hierarchy index file."""
-    from repro.index import HierarchyQueryService
+def cmd_build_cohesion(args: argparse.Namespace) -> int:
+    """Build and persist the multi-measure ``KVCCCOH`` cohesion index."""
+    from repro.core.options import KVCCOptions
+    from repro.index import build_cohesion_index
 
-    try:
-        service = HierarchyQueryService.from_file(args.index)
-        if args.query_command == "vcc-number":
-            v = _parse_vertex(args.v)
-            print(f"vcc-number({v}) = {service.vcc_number(v)}")
-        elif args.query_command == "components-of":
-            v = _parse_vertex(args.v)
-            comps = service.components_of(v, args.k)
-            print(f"{len(comps)} {args.k}-VCC(s) contain {v}")
-            for i, comp in enumerate(comps):
-                members = ", ".join(map(str, sorted(comp, key=str)))
-                print(f"  [{i}] {len(comp)} vertices: {members}")
-        elif args.query_command == "same-kvcc":
-            u, v = _parse_vertex(args.u), _parse_vertex(args.v)
-            answer = service.same_kvcc(u, v, args.k)
-            print(f"same-kvcc({u}, {v}, k={args.k}) = {answer}")
-        else:  # max-shared-level
-            u, v = _parse_vertex(args.u), _parse_vertex(args.v)
+    base = _load_base(args)
+    options = KVCCOptions(backend="csr", workers=args.workers)
+    cohesion = build_cohesion_index(base, max_k=args.max_k, options=options)
+    # Temp-file + atomic rename, same discipline as --save-index: a
+    # serving process hot-reloading this path must never mmap a
+    # half-written container.
+    cohesion.save_atomic(args.out)
+    shapes = "; ".join(
+        f"{measure}: {cohesion.index_for(measure).num_nodes} components, "
+        f"max level {cohesion.index_for(measure).max_k}"
+        for measure in cohesion.measures
+    )
+    print(
+        f"wrote {args.out} "
+        f"({cohesion.index_for('kvcc').num_vertices} vertices; {shapes})"
+    )
+    return 0
+
+
+def _query_pairs(args: argparse.Namespace):
+    """Resolve ``--pair u:v`` flags (plus the deprecated ``-u``/``-v``
+    scalar spelling) into a list of label pairs, or exit 2."""
+    pairs = []
+    for token in args.pair or ():
+        u, sep, v = token.partition(":")
+        if not sep or not u or not v:
             print(
-                f"max-shared-level({u}, {v}) = "
-                f"{service.max_shared_level(u, v)}"
+                f"error: --pair must look like 'u:v', got {token!r}",
+                file=sys.stderr,
             )
+            raise SystemExit(2)
+        pairs.append((_parse_vertex(u), _parse_vertex(v)))
+    legacy = getattr(args, "u", None) is not None or (
+        getattr(args, "v", None) is not None
+    )
+    if legacy:
+        if args.u is None or args.v is None:
+            print(
+                "error: -u and -v must be given together",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        print(
+            f"note: '-u/-v' is deprecated for '{args.query_command}'; "
+            f"use --pair {args.u}:{args.v}",
+            file=sys.stderr,
+        )
+        pairs.append((_parse_vertex(args.u), _parse_vertex(args.v)))
+    if not pairs:
+        print(
+            "error: give at least one --pair u:v",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return pairs
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Answer one query from a saved hierarchy or cohesion index file."""
+    from repro.index import (
+        CohesionIndex,
+        CohesionQueryService,
+        HierarchyQueryService,
+        load_any_index,
+    )
+
+    measure = getattr(args, "measure", "kvcc")
+    try:
+        index = load_any_index(args.index, mmap=False)
+        if isinstance(index, CohesionIndex):
+            container = CohesionQueryService(index)
+        else:
+            container = HierarchyQueryService(index)
+        try:
+            service = container.measure_service(measure)
+        except KeyError:
+            served = ", ".join(container.measures)
+            print(
+                f"error: {args.index} does not serve measure "
+                f"{measure!r} (it serves: {served}); build a "
+                f"multi-measure index with 'repro build-cohesion'",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            return _run_query(args, container, service, measure)
+        except SystemExit as exc:
+            # _query_pairs prints its own message and signals the exit
+            # code; surface it as a return so embedders (and tests)
+            # calling main() see a code, not an exception.
+            return exc.code if isinstance(exc.code, int) else 2
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _run_query(args, container, service, measure: str) -> int:
+    """Dispatch one parsed ``repro query`` subcommand and print the
+    answer; ``service`` is the per-measure view, ``container`` the
+    whole (possibly multi-measure) service for cross-measure queries."""
+    command = args.query_command
+    tag = "" if measure == "kvcc" else f" [{measure}]"
+    if command == "vcc-number":
+        for token in args.v:
+            v = _parse_vertex(token)
+            print(f"vcc-number({v}){tag} = {service.vcc_number(v)}")
+    elif command == "components-of":
+        v = _parse_vertex(args.v)
+        comps = service.components_of(v, args.k)
+        noun = {"kvcc": "VCC", "kecc": "ECC", "kcore": "core"}[measure]
+        print(f"{len(comps)} {args.k}-{noun}(s) contain {v}")
+        for i, comp in enumerate(comps):
+            members = ", ".join(map(str, sorted(comp, key=str)))
+            print(f"  [{i}] {len(comp)} vertices: {members}")
+    elif command == "same-kvcc":
+        for u, v in _query_pairs(args):
+            answer = service.same_kvcc(u, v, args.k)
+            print(f"same-kvcc({u}, {v}, k={args.k}){tag} = {answer}")
+    elif command == "max-shared-level":
+        for u, v in _query_pairs(args):
+            print(
+                f"max-shared-level({u}, {v}){tag} = "
+                f"{service.max_shared_level(u, v)}"
+            )
+    elif command == "top-communities":
+        v = _parse_vertex(args.v)
+        ranked = service.top_communities(v, args.r)
+        print(
+            f"{len(ranked)} strongest communities containing {v}{tag}"
+        )
+        for i, (k, members) in enumerate(ranked):
+            listing = ", ".join(map(str, members))
+            print(f"  [{i}] k={k}, {len(members)} vertices: {listing}")
+    elif command == "critical-vertices":
+        v = _parse_vertex(args.v)
+        critical = service.critical_vertices(v, args.k)
+        print(
+            f"{len(critical)} critical vertex(es) of {v} "
+            f"at level {args.k}{tag}"
+        )
+        if critical:
+            print("  " + ", ".join(map(str, critical)))
+    else:  # cohesion-strength (cross-measure; ignores --measure)
+        pairs = _query_pairs(args)
+        per_measure = {
+            m: container.measure_service(m).max_shared_levels(pairs)
+            for m in container.measures
+        }
+        for i, (u, v) in enumerate(pairs):
+            strengths = " ".join(
+                f"{m}={per_measure[m][i]}" for m in container.measures
+            )
+            print(f"cohesion-strength({u}, {v}): {strengths}")
     return 0
 
 
@@ -359,20 +503,23 @@ def _spec_short_name(token: str) -> str:
             spec=token, kind="name", source=token[len("name:") :]
         ).name
     path = token[len("file:") :] if token.startswith("file:") else token
-    if path.endswith(".kvccidx"):
+    if path.endswith((".kvccidx", ".kvcccoh")):
         return os.path.splitext(os.path.basename(path))[0]
     return Dataset(spec=token, kind="file", source=path).name
 
 
 def _is_index_file(path: str) -> bool:
-    """True when ``path`` starts with the hierarchy-index magic."""
+    """True when ``path`` starts with a servable index magic - a plain
+    hierarchy index (``KVCCIDX``) or a cohesion container (``KVCCCOH``)."""
+    from repro.index.cohesion import COHESION_MAGIC
     from repro.index.store import MAGIC
 
     try:
         with open(path, "rb") as handle:
-            return handle.read(len(MAGIC)) == MAGIC
+            head = handle.read(max(len(MAGIC), len(COHESION_MAGIC)))
     except OSError:
         return False
+    return head.startswith(MAGIC) or head.startswith(COHESION_MAGIC)
 
 
 def prepare_serve_datasets(
@@ -508,6 +655,7 @@ def _serve_sharded(args: argparse.Namespace, datasets) -> int:
         default_cache_dir() if args.cache_dir is None else args.cache_dir
     )
     rings = {}
+    measures = {}
     shard_specs = [[] for _ in range(args.shards)]
     shard_dirs = {}
     for name, index_path, _ in datasets:
@@ -519,6 +667,7 @@ def _serve_sharded(args: argparse.Namespace, datasets) -> int:
             print(f"error: cannot shard {name!r}: {exc}", file=sys.stderr)
             return 2
         rings[name] = ring_from_manifest(manifest)
+        measures[name] = list(manifest.get("measures", ["kvcc"]))
         shard_dirs[name] = os.path.dirname(paths[0])
         for shard, path in enumerate(paths):
             shard_specs[shard].append((name, path))
@@ -555,7 +704,7 @@ def _serve_sharded(args: argparse.Namespace, datasets) -> int:
                     )
             return status, payload
 
-        router = ShardRouter(rings)
+        router = ShardRouter(rings, measures=measures)
         dispatch = RouterDispatch(router, addresses, mutate=mutate)
         server = AsyncHTTPServer(
             dispatch, host=args.host, port=args.port,
@@ -729,40 +878,124 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_hierarchy)
 
     p = sub.add_parser(
-        "query", help="O(1) queries against a saved hierarchy index",
-        epilog="build the index first: repro hierarchy graph.txt "
-        "--save-index graph.kvccidx",
+        "build-cohesion",
+        help="build the multi-measure cohesion index "
+        "(k-VCC + k-ECC + k-core side by side)",
+        epilog="example: repro build-cohesion graph.txt --out "
+        "graph.kvcccoh; then query any measure ('repro query vcc-number "
+        "graph.kvcccoh -v 3 --measure kecc') or serve it ('repro serve "
+        "web=graph.kvcccoh' exposes the /v2 route family)",
+    )
+    _add_dataset_args(p)
+    p.add_argument(
+        "--out", metavar="PATH", required=True,
+        help="write the KVCCCOH container here (atomic rename)",
+    )
+    p.add_argument(
+        "--max-k", type=int, default=None,
+        help="cap every measure's hierarchy at this level",
+    )
+    p.add_argument(
+        "--workers", type=_workers_arg, default=1, metavar="N",
+        help="worker processes for the k-VCC hierarchy build "
+        "(1 = serial, 0 = one per CPU)",
+    )
+    p.set_defaults(func=cmd_build_cohesion)
+
+    p = sub.add_parser(
+        "query", help="O(1) queries against a saved hierarchy or "
+        "cohesion index",
+        epilog="build an index first: repro hierarchy graph.txt "
+        "--save-index graph.kvccidx, or repro build-cohesion graph.txt "
+        "--out graph.kvcccoh (then pick a hierarchy with "
+        "--measure {kvcc,kecc,kcore})",
     )
     qsub = p.add_subparsers(dest="query_command", required=True)
+    _INDEX_HELP = (
+        "index file from 'hierarchy --save-index' or 'build-cohesion'"
+    )
+
+    def _add_measure_flag(q: argparse.ArgumentParser) -> None:
+        # Choices mirror repro.index.MEASURES; spelled out so building
+        # the parser never imports the index package.
+        q.add_argument(
+            "--measure", choices=("kvcc", "kecc", "kcore"),
+            default="kvcc",
+            help="which hierarchy of a cohesion index to query "
+            "(default: kvcc; plain .kvccidx files serve kvcc only)",
+        )
+
+    def _add_pair_flags(q: argparse.ArgumentParser) -> None:
+        q.add_argument(
+            "--pair", action="append", metavar="U:V",
+            help="a vertex pair; repeat for a batch (mirrors the HTTP "
+            "pair=u:v parameter)",
+        )
+        q.add_argument("-u", help="first vertex label (deprecated; "
+                       "use --pair U:V)")
+        q.add_argument("-v", help="second vertex label (deprecated; "
+                       "use --pair U:V)")
 
     q = qsub.add_parser(
-        "vcc-number", help="largest k with the vertex in some k-VCC"
+        "vcc-number", help="largest k with the vertex in some "
+        "k-component of the chosen measure"
     )
-    q.add_argument("index", help="index file from 'hierarchy --save-index'")
-    q.add_argument("-v", required=True, help="vertex label")
+    q.add_argument("index", help=_INDEX_HELP)
+    q.add_argument(
+        "-v", required=True, action="append", help="vertex label; "
+        "repeat for a batch (mirrors the HTTP v= parameter)",
+    )
+    _add_measure_flag(q)
 
     q = qsub.add_parser(
         "components-of", help="all level-k components containing a vertex"
     )
-    q.add_argument("index", help="index file from 'hierarchy --save-index'")
+    q.add_argument("index", help=_INDEX_HELP)
     q.add_argument("-v", required=True, help="vertex label")
     q.add_argument("-k", type=int, required=True, help="hierarchy level")
+    _add_measure_flag(q)
 
     q = qsub.add_parser(
-        "same-kvcc", help="do two vertices share a k-VCC at level k?"
+        "same-kvcc", help="do two vertices share a component at level k?"
     )
-    q.add_argument("index", help="index file from 'hierarchy --save-index'")
-    q.add_argument("-u", required=True, help="first vertex label")
-    q.add_argument("-v", required=True, help="second vertex label")
+    q.add_argument("index", help=_INDEX_HELP)
+    _add_pair_flags(q)
     q.add_argument("-k", type=int, required=True, help="hierarchy level")
+    _add_measure_flag(q)
 
     q = qsub.add_parser(
         "max-shared-level", help="deepest level at which two vertices share "
         "a component",
     )
-    q.add_argument("index", help="index file from 'hierarchy --save-index'")
-    q.add_argument("-u", required=True, help="first vertex label")
-    q.add_argument("-v", required=True, help="second vertex label")
+    q.add_argument("index", help=_INDEX_HELP)
+    _add_pair_flags(q)
+    _add_measure_flag(q)
+
+    q = qsub.add_parser(
+        "top-communities", help="the r strongest communities containing "
+        "a vertex, ranked by level",
+    )
+    q.add_argument("index", help=_INDEX_HELP)
+    q.add_argument("-v", required=True, help="vertex label")
+    q.add_argument("-r", type=int, required=True,
+                   help="how many communities to return")
+    _add_measure_flag(q)
+
+    q = qsub.add_parser(
+        "critical-vertices", help="vertices whose removal drops a "
+        "vertex's level-k component apart at level k+1",
+    )
+    q.add_argument("index", help=_INDEX_HELP)
+    q.add_argument("-v", required=True, help="vertex label")
+    q.add_argument("-k", type=int, required=True, help="hierarchy level")
+    _add_measure_flag(q)
+
+    q = qsub.add_parser(
+        "cohesion-strength", help="max shared level of a pair under "
+        "every persisted measure at once",
+    )
+    q.add_argument("index", help=_INDEX_HELP)
+    _add_pair_flags(q)
 
     p.set_defaults(func=cmd_query)
 

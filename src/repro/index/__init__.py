@@ -45,6 +45,16 @@ from repro.index.store import (
     build_index,
     load_index,
 )
+from repro.index.cohesion import (
+    COHESION_FORMAT_VERSION,
+    MEASURES,
+    CohesionIndex,
+    CohesionQueryService,
+    build_cohesion_index,
+    load_any_index,
+    load_cohesion_index,
+    sniff_measures,
+)
 from repro.index.delta import (
     IndexUpdater,
     delta_log_path,
@@ -58,25 +68,35 @@ from repro.index.shard import (
     refresh_shards,
     ring_from_manifest,
     route_key,
+    shard_cohesion_index,
     shard_index,
     write_shards,
 )
 
 __all__ = [
+    "COHESION_FORMAT_VERSION",
+    "CohesionIndex",
+    "CohesionQueryService",
     "FORMAT_VERSION",
     "HashRing",
     "HierarchyIndex",
     "HierarchyQueryService",
     "IndexUpdater",
+    "MEASURES",
+    "build_cohesion_index",
     "build_index",
     "delta_log_path",
     "ensure_shards",
+    "load_any_index",
+    "load_cohesion_index",
     "load_effective_index",
     "load_index",
     "load_manifest",
     "refresh_shards",
     "ring_from_manifest",
     "route_key",
+    "shard_cohesion_index",
     "shard_index",
+    "sniff_measures",
     "write_shards",
 ]

@@ -73,6 +73,29 @@ class HierarchyQueryService:
         """The wrapped index (for shape introspection)."""
         return self._index
 
+    @property
+    def measures(self) -> Tuple[str, ...]:
+        """Cohesion measures this service can answer for.
+
+        A plain hierarchy index always answers for exactly one measure,
+        ``kvcc``; the multi-measure
+        :class:`~repro.index.cohesion.CohesionQueryService` overrides
+        this with its persisted measure set.  Handlers route per-measure
+        requests through this shared protocol, so the two service types
+        are interchangeable behind the registry.
+        """
+        return ("kvcc",)
+
+    def measure_service(self, measure: str) -> "HierarchyQueryService":
+        """The per-measure query service; only ``kvcc`` exists here.
+
+        Raises ``KeyError`` for any other measure - the handler layer
+        maps that to a 404 with a stable ``unknown_measure`` code.
+        """
+        if measure != "kvcc":
+            raise KeyError(measure)
+        return self
+
     def _vertex_node_lists(self) -> List[List[int]]:
         """Per vertex id, the indices of every component containing it,
         ascending - and therefore ascending in level k, because nodes
@@ -155,6 +178,83 @@ class HierarchyQueryService:
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
         return self.max_shared_level(u, v) >= k
+
+    # ------------------------------------------------------------------
+    # Derived queries (the v2 cohesion products)
+    # ------------------------------------------------------------------
+    def top_communities(
+        self, v: Hashable, r: int
+    ) -> List[Tuple[int, List[Hashable]]]:
+        """The ``r`` strongest communities containing ``v``.
+
+        Every component containing ``v``, ranked strongest (deepest
+        level) first, truncated to ``r`` entries; each entry is
+        ``(k, sorted member labels)``.  Ties at one level order by the
+        member list so the answer is a pure function of the component
+        *set* (an incrementally-maintained index and a fresh rebuild
+        agree byte for byte).  Empty when ``v`` is unknown; ``r < 1``
+        is an error.
+        """
+        if r < 1:
+            raise ValueError(f"r must be at least 1, got {r}")
+        vid = self._index.id_of(v)
+        if vid is None:
+            return []
+        index = self._index
+        node_k = index.node_k
+        ranked = sorted(
+            (
+                (
+                    node_k[node],
+                    sorted(index.member_labels(node), key=str),
+                )
+                for node in self._vertex_node_lists()[vid]
+            ),
+            key=lambda entry: (-entry[0], [str(x) for x in entry[1]]),
+        )
+        return ranked[:r]
+
+    def critical_vertices(self, v: Hashable, k: int) -> List[Hashable]:
+        """Vertices of ``v``'s level-``k`` component(s) whose level-(k+1)
+        assignment is not unique.
+
+        For each level-``k`` component containing ``v``, a member is
+        *critical* when it lies in zero of that component's level-(k+1)
+        children (it is peeled away when the cohesion threshold rises -
+        the boundary between the two levels) or in two or more of them
+        (an overlap/cut vertex gluing the stronger sub-communities
+        together; only the k-VCC measure can produce these, since k-ECC
+        and k-core components are disjoint).  Answers are sorted labels,
+        deduplicated across components; empty when ``v`` is unknown or
+        reaches no level-``k`` component.  ``k < 1`` is an error.
+        """
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        vid = self._index.id_of(v)
+        if vid is None:
+            return []
+        index = self._index
+        node_k = index.node_k
+        parents = index.node_parent
+        nodes = [
+            node
+            for node in self._vertex_node_lists()[vid]
+            if node_k[node] == k
+        ]
+        critical: Set[Hashable] = set()
+        for node in nodes:
+            counts = {member: 0 for member in index.members(node)}
+            for child in index.nodes_at(k + 1):
+                if parents[child] == node:
+                    for member in index.members(child):
+                        counts[member] += 1
+            labels = index.labels
+            critical.update(
+                labels[member]
+                for member, children in counts.items()
+                if children != 1
+            )
+        return sorted(critical, key=str)
 
     # ------------------------------------------------------------------
     # Batch queries

@@ -52,6 +52,7 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.index.cohesion import CohesionIndex
 from repro.index.store import (
     FORMAT_VERSION,
     HierarchyIndex,
@@ -217,8 +218,74 @@ def shard_index(
     return out
 
 
+def shard_cohesion_index(
+    cohesion: CohesionIndex,
+    num_shards: int,
+    vnodes: int = DEFAULT_VNODES,
+) -> List[CohesionIndex]:
+    """Partition a multi-measure container into per-shard containers.
+
+    Every measure of a dataset shards with the *same* ring over the
+    *same* label universe (all measures are flattened under one
+    interner at build time), so a vertex's home shard holds its closure
+    under every measure at once - the router can keep planning by
+    vertex alone, measure-blind, and per-measure answers stay
+    byte-identical to the unsharded container.
+    """
+    per_measure = {
+        measure: shard_index(
+            cohesion.index_for(measure), num_shards, vnodes
+        )
+        for measure in cohesion.measures
+    }
+    return [
+        CohesionIndex(
+            {
+                measure: per_measure[measure][shard]
+                for measure in cohesion.measures
+            }
+        )
+        for shard in range(num_shards)
+    ]
+
+
+def _shard_any(index, num_shards: int, vnodes: int):
+    """Dispatch on index type: plain or multi-measure sharding."""
+    if isinstance(index, CohesionIndex):
+        return shard_cohesion_index(index, num_shards, vnodes)
+    return shard_index(index, num_shards, vnodes)
+
+
+def _shard_file_name(number: int, shard) -> str:
+    """Shard file name; the extension mirrors the container magic."""
+    suffix = "kvcccoh" if isinstance(shard, CohesionIndex) else "kvccidx"
+    return f"shard-{number:04d}.{suffix}"
+
+
+def _shard_record(file_name: str, shard) -> dict:
+    """One manifest record; shape stats come from the kvcc measure."""
+    described = (
+        shard.index_for("kvcc")
+        if isinstance(shard, CohesionIndex)
+        else shard
+    )
+    return {
+        "file": file_name,
+        "vertices": described.num_vertices,
+        "nodes": described.num_nodes,
+        "max_k": described.max_k,
+    }
+
+
+def _measures_of(index) -> List[str]:
+    """The served-measure list a manifest advertises for ``index``."""
+    if isinstance(index, CohesionIndex):
+        return list(index.measures)
+    return ["kvcc"]
+
+
 def write_shards(
-    index: HierarchyIndex,
+    index,
     out_dir: str,
     num_shards: int,
     vnodes: int = DEFAULT_VNODES,
@@ -226,32 +293,29 @@ def write_shards(
 ) -> dict:
     """Shard ``index`` into ``out_dir`` and write the manifest.
 
-    Shard files land as ``shard-NNNN.kvccidx`` (each written via
-    temp-file + atomic rename, so a concurrent reader never maps a
-    partial index), the manifest last - a reader that finds
-    ``manifest.json`` is guaranteed complete shard files.  Returns the
-    manifest dict.
+    ``index`` is a plain :class:`HierarchyIndex` or a multi-measure
+    :class:`~repro.index.cohesion.CohesionIndex`; shard files land as
+    ``shard-NNNN.kvccidx`` / ``shard-NNNN.kvcccoh`` accordingly (each
+    written via temp-file + atomic rename, so a concurrent reader never
+    maps a partial index), the manifest last - a reader that finds
+    ``manifest.json`` is guaranteed complete shard files.  The manifest
+    records the served ``measures`` so a router can advertise dataset
+    capabilities without opening a shard.  Returns the manifest dict.
     """
-    shards = shard_index(index, num_shards, vnodes)
+    shards = _shard_any(index, num_shards, vnodes)
     os.makedirs(out_dir, exist_ok=True)
     records = []
     for number, shard in enumerate(shards):
-        file_name = f"shard-{number:04d}.kvccidx"
+        file_name = _shard_file_name(number, shard)
         shard.save_atomic(os.path.join(out_dir, file_name))
-        records.append(
-            {
-                "file": file_name,
-                "vertices": shard.num_vertices,
-                "nodes": shard.num_nodes,
-                "max_k": shard.max_k,
-            }
-        )
+        records.append(_shard_record(file_name, shard))
     manifest = {
         "format": MANIFEST_FORMAT,
         "index_format_version": FORMAT_VERSION,
         "num_shards": num_shards,
         "hash": {"scheme": "fnv1a64-ring", "vnodes": vnodes},
         "shards": records,
+        "measures": _measures_of(index),
         "source": source or {},
     }
     _write_manifest(out_dir, manifest)
@@ -343,7 +407,8 @@ def ensure_shards(
     concurrent cold boots converge on identical content.  Returns
     ``(manifest, absolute shard paths)``.
     """
-    from repro.index.delta import delta_log_path, load_effective_index
+    from repro.index.cohesion import load_any_index
+    from repro.index.delta import delta_log_path
 
     digest = hashlib.sha256()
     with open(index_path, "rb") as handle:
@@ -373,7 +438,7 @@ def ensure_shards(
             return manifest, paths
     except (OSError, ValueError):
         pass  # absent or stale: re-shard below
-    index = load_effective_index(index_path, mmap=True)
+    index = load_any_index(index_path, mmap=True)
     manifest = write_shards(
         index,
         shard_dir,
@@ -384,9 +449,7 @@ def ensure_shards(
     return manifest, shard_paths(manifest, shard_dir)
 
 
-def refresh_shards(
-    index: HierarchyIndex, shard_dir: str
-) -> int:
+def refresh_shards(index, shard_dir: str) -> int:
     """Re-shard ``index`` into an existing shard directory in place.
 
     The mutation path for a sharded deployment: after an incremental
@@ -402,11 +465,11 @@ def refresh_shards(
     manifest = load_manifest(shard_dir)
     num_shards = manifest["num_shards"]
     vnodes = manifest["hash"]["vnodes"]
-    shards = shard_index(index, num_shards, vnodes)
+    shards = _shard_any(index, num_shards, vnodes)
     changed = 0
     records = []
     for number, shard in enumerate(shards):
-        file_name = f"shard-{number:04d}.kvccidx"
+        file_name = _shard_file_name(number, shard)
         path = os.path.join(shard_dir, file_name)
         blob = shard.to_bytes()
         try:
@@ -417,15 +480,9 @@ def refresh_shards(
         if not unchanged:
             shard.save_atomic(path)
             changed += 1
-        records.append(
-            {
-                "file": file_name,
-                "vertices": shard.num_vertices,
-                "nodes": shard.num_nodes,
-                "max_k": shard.max_k,
-            }
-        )
+        records.append(_shard_record(file_name, shard))
     manifest["shards"] = records
+    manifest["measures"] = _measures_of(index)
     _write_manifest(shard_dir, manifest)
     return changed
 

@@ -547,67 +547,85 @@ class HierarchyIndex:
         )
 
     @classmethod
-    def _load_mmap(cls, path) -> "HierarchyIndex":
-        """Map ``path`` and wire the sections up as zero-copy views.
+    def from_buffer(
+        cls, buffer, path, zero_copy: bool = False
+    ) -> "HierarchyIndex":
+        """Parse one complete ``KVCCIDX`` byte stream out of ``buffer``.
 
-        Performs exactly the structural validation :meth:`_read` does
-        (magic, version, header completeness, body length) against the
-        mapping, without touching - and therefore without faulting in -
-        the array pages themselves.
+        The shared workhorse behind the mmap load path and the embedded
+        streams of the multi-measure container
+        (:mod:`repro.index.cohesion`): ``buffer`` must hold exactly one
+        index stream, magic through the last section, with nothing
+        after it.  ``zero_copy`` exposes the int32 sections as
+        ``memoryview`` casts into ``buffer`` (which must stay alive as
+        long as the index - the caller owns the backing mapping) and
+        defers the label decode; otherwise every section materializes
+        into Python lists up front.  Validation is identical either way
+        (magic, version, completeness, run-table endpoints) and happens
+        *before* any view into ``buffer`` is exported, so a failed
+        parse never pins the backing buffer.
         """
-        with open(path, "rb") as handle:
-            try:
-                mapped = _mmap.mmap(
-                    handle.fileno(), 0, access=_mmap.ACCESS_READ
-                )
-            except ValueError:
-                # Zero-length files cannot be mapped; same failure mode
-                # as an empty read in the eager path.
-                raise ValueError(f"{path}: truncated index header") from None
-        try:
-            prefix = len(MAGIC)
-            if mapped[:prefix] != MAGIC:
-                raise ValueError(
-                    f"{path}: not a k-VCC hierarchy index file "
-                    f"(bad magic {mapped[:prefix]!r}, expected {MAGIC!r})"
-                )
-            if len(mapped) < prefix + 1:
-                raise ValueError(f"{path}: truncated index header")
-            version = mapped[prefix]
-            if version != FORMAT_VERSION:
-                raise ValueError(
-                    f"{path}: unsupported index format version {version} "
-                    f"(this build reads version {FORMAT_VERSION}); rebuild "
-                    f"the index with 'repro hierarchy --save-index'"
-                )
-            body_start = prefix + 1 + _HEADER.size
-            if len(mapped) < body_start:
-                raise ValueError(f"{path}: truncated index header")
-            n_vertices, n_nodes, n_run_pairs, max_k, labels_len = (
-                _HEADER.unpack_from(mapped, prefix + 1)
+        prefix = len(MAGIC)
+        if bytes(buffer[:prefix]) != MAGIC:
+            raise ValueError(
+                f"{path}: not a k-VCC hierarchy index file "
+                f"(bad magic {bytes(buffer[:prefix])!r}, expected {MAGIC!r})"
             )
-            expected = labels_len + 4 * (
-                n_nodes + n_nodes + (n_nodes + 1) + 2 * n_run_pairs + n_vertices
+        if len(buffer) < prefix + 1:
+            raise ValueError(f"{path}: truncated index header")
+        version = buffer[prefix]
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported index format version {version} "
+                f"(this build reads version {FORMAT_VERSION}); rebuild "
+                f"the index with 'repro hierarchy --save-index'"
             )
-            body_len = len(mapped) - body_start
-            if body_len != expected:
-                raise ValueError(
-                    f"{path}: truncated index body "
-                    f"({body_len} bytes, expected {expected})"
-                )
-            # Validate the run-table endpoints straight off the mapping,
-            # *before* exporting any memoryview: once views exist, the
-            # error path could no longer close the mapping.
-            offsets_at = body_start + labels_len + 8 * n_nodes
-            endpoints = (
-                struct.unpack_from("<i", mapped, offsets_at)[0],
-                struct.unpack_from("<i", mapped, offsets_at + 4 * n_nodes)[0],
+        body_start = prefix + 1 + _HEADER.size
+        if len(buffer) < body_start:
+            raise ValueError(f"{path}: truncated index header")
+        n_vertices, n_nodes, n_run_pairs, max_k, labels_len = (
+            _HEADER.unpack_from(buffer, prefix + 1)
+        )
+        expected = labels_len + 4 * (
+            n_nodes + n_nodes + (n_nodes + 1) + 2 * n_run_pairs + n_vertices
+        )
+        body_len = len(buffer) - body_start
+        if body_len != expected:
+            raise ValueError(
+                f"{path}: truncated index body "
+                f"({body_len} bytes, expected {expected})"
             )
-            _check_run_offsets(endpoints, n_run_pairs, path)
-        except ValueError:
-            mapped.close()
-            raise
-        view = memoryview(mapped)
+        offsets_at = body_start + labels_len + 8 * n_nodes
+        endpoints = (
+            struct.unpack_from("<i", buffer, offsets_at)[0],
+            struct.unpack_from("<i", buffer, offsets_at + 4 * n_nodes)[0],
+        )
+        _check_run_offsets(endpoints, n_run_pairs, path)
+        if not zero_copy:
+            body = bytes(buffer[body_start:])
+            labels = json.loads(body[:labels_len].decode("utf-8"))
+            offset = labels_len
+            node_k = _unpack_ints(body, offset, n_nodes)
+            offset += 4 * n_nodes
+            node_parent = _unpack_ints(body, offset, n_nodes)
+            offset += 4 * n_nodes
+            run_offsets = _unpack_ints(body, offset, n_nodes + 1)
+            offset += 4 * (n_nodes + 1)
+            runs = _unpack_ints(body, offset, 2 * n_run_pairs)
+            offset += 4 * 2 * n_run_pairs
+            vcc_numbers = _unpack_ints(body, offset, n_vertices)
+            return cls(
+                labels=labels,
+                node_k=node_k,
+                node_parent=node_parent,
+                run_offsets=run_offsets,
+                runs=runs,
+                vcc_numbers=vcc_numbers,
+                max_k=max_k,
+            )
+        view = (
+            buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+        )
         offset = body_start
         labels_blob = view[offset : offset + labels_len]
         offset += labels_len
@@ -628,6 +646,32 @@ class HierarchyIndex:
         index.vcc_numbers = vcc_numbers
         index.max_k = max_k
         index._ids = None
+        index._mmap = None
+        return index
+
+    @classmethod
+    def _load_mmap(cls, path) -> "HierarchyIndex":
+        """Map ``path`` and wire the sections up as zero-copy views.
+
+        Performs exactly the structural validation :meth:`_read` does
+        (magic, version, header completeness, body length) against the
+        mapping, without touching - and therefore without faulting in -
+        the array pages themselves.
+        """
+        with open(path, "rb") as handle:
+            try:
+                mapped = _mmap.mmap(
+                    handle.fileno(), 0, access=_mmap.ACCESS_READ
+                )
+            except ValueError:
+                # Zero-length files cannot be mapped; same failure mode
+                # as an empty read in the eager path.
+                raise ValueError(f"{path}: truncated index header") from None
+        try:
+            index = cls.from_buffer(mapped, path, zero_copy=True)
+        except ValueError:
+            mapped.close()
+            raise
         index._mmap = mapped
         return index
 

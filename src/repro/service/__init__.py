@@ -9,7 +9,10 @@ with hot reload, and a dependency-free HTTP front end.
   lazy mmap open, LRU of resident indexes, mtime-based hot reload,
   explicit evict;
 * :mod:`repro.service.handlers` - the transport-agnostic API routing
-  (``/healthz``, ``/datasets``, ``/v1/<dataset>/<query>``);
+  (``/healthz``, ``/datasets``, ``/v1/<dataset>/<query>``, and the
+  per-measure ``/v2/<dataset>/<measure>/<query>`` cohesion family);
+* :mod:`repro.service.schema` - the declarative per-endpoint parameter
+  schemas and stable error codes both routing tables share;
 * :func:`~repro.service.server.create_server` - the stdlib
   ``ThreadingHTTPServer`` JSON front end, started by ``repro serve``;
 * :class:`~repro.service.router.ShardRouter`,
@@ -48,6 +51,12 @@ from repro.service.handlers import (
 from repro.service.mutation import MutationManager
 from repro.service.registry import DatasetNotFound, IndexRegistry
 from repro.service.router import ShardRouter
+from repro.service.schema import (
+    ENDPOINTS,
+    ERROR_CODES,
+    EndpointSpec,
+    ParamSpec,
+)
 from repro.service.server import (
     DEFAULT_PORT,
     ServiceRequestHandler,
@@ -60,7 +69,11 @@ __all__ = [
     "AsyncHTTPServer",
     "DatasetNotFound",
     "DEFAULT_PORT",
+    "ENDPOINTS",
+    "ERROR_CODES",
+    "EndpointSpec",
     "IndexRegistry",
+    "ParamSpec",
     "MutationManager",
     "RouterDispatch",
     "ServerThread",

@@ -63,7 +63,9 @@ MAX_HEAD = 1 << 20
 #: Cap on POST body size (64 MiB, matching the threading server).
 MAX_BODY = 1 << 26
 
-_INTERNAL_ERROR = b'{"error":"internal server error"}'
+_INTERNAL_ERROR = (
+    b'{"error":"internal server error","code":"internal_error"}'
+)
 
 
 def _reason(status: int) -> str:
@@ -174,7 +176,10 @@ class AsyncHTTPServer:
                     # instead of desyncing.
                     close = True
                     status, body = 400, render_json(
-                        {"error": "missing or oversized request body"}
+                        {
+                            "error": "missing or oversized request body",
+                            "code": "bad_body",
+                        }
                     )
                 else:
                     try:
@@ -208,11 +213,16 @@ class AsyncHTTPServer:
             request_line = head.split(b"\r\n", 1)[0].decode("latin-1")
             parts = request_line.split()
             if len(parts) < 2:
-                return 400, render_json({"error": "malformed request line"})
+                return 400, render_json(
+                    {"error": "malformed request line", "code": "bad_request"}
+                )
             method, target = parts[0], parts[1]
             if method not in ("GET", "POST"):
                 return 501, render_json(
-                    {"error": f"unsupported method {method!r}"}
+                    {
+                        "error": f"unsupported method {method!r}",
+                        "code": "unsupported_method",
+                    }
                 )
             url = urlsplit(target)
             return await self._dispatch(
@@ -324,7 +334,10 @@ class RouterDispatch:
         if method == "POST":
             if self._mutate is None:
                 return 405, render_json(
-                    {"error": "mutations are not enabled on this router"}
+                    {
+                        "error": "mutations are not enabled on this router",
+                        "code": "method_not_allowed",
+                    }
                 )
             # Classification + localized re-enumeration is CPU work
             # seconds long in the worst case; to_thread keeps the
@@ -349,7 +362,10 @@ class RouterDispatch:
                 return await self._fetch(shard, path, params)
             except (ConnectionError, OSError, asyncio.IncompleteReadError):
                 return 503, render_json(
-                    {"error": f"shard {shard} unavailable"}
+                    {
+                        "error": f"shard {shard} unavailable",
+                        "code": "shard_unavailable",
+                    }
                 )
         _, subs, merge = plan
         raw = await asyncio.gather(
@@ -360,7 +376,10 @@ class RouterDispatch:
         for (shard, _), result in zip(subs, raw):
             if isinstance(result, BaseException):
                 return 503, render_json(
-                    {"error": f"shard {shard} unavailable"}
+                    {
+                        "error": f"shard {shard} unavailable",
+                        "code": "shard_unavailable",
+                    }
                 )
             status, body = result
             responses.append((status, _loads(body)))

@@ -49,7 +49,13 @@ import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
-from repro.index.delta import delta_log_path, load_effective_index
+from repro.index.cohesion import (
+    CohesionIndex,
+    CohesionQueryService,
+    load_any_index,
+    sniff_measures,
+)
+from repro.index.delta import delta_log_path
 from repro.index.query import HierarchyQueryService
 
 
@@ -65,7 +71,7 @@ class _Entry:
     def __init__(self, name: str, path: str) -> None:
         self.name = name
         self.path = path
-        self.service: Optional[HierarchyQueryService] = None
+        self.service = None
         #: ``(mtime_ns, size)`` of the base file and its delta log.
         self.signature: Optional[Tuple[int, int, int, int]] = None
 
@@ -155,8 +161,16 @@ class IndexRegistry:
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
-    def get(self, name: str) -> HierarchyQueryService:
+    def get(self, name: str):
         """The query service for ``name``, loading or reloading as needed.
+
+        The index file's magic decides the service type: a plain
+        ``KVCCIDX`` file (with its delta-log overlay applied) answers
+        through a :class:`HierarchyQueryService`, a multi-measure
+        ``KVCCCOH`` container through a
+        :class:`~repro.index.cohesion.CohesionQueryService`.  Both
+        speak the ``measures`` / ``measure_service`` protocol, so the
+        handler layer never cares which it got.
 
         Raises :class:`DatasetNotFound` for unknown names and ``OSError``
         when the registered file is missing or unreadable.
@@ -183,9 +197,11 @@ class IndexRegistry:
                 self._release(entry)
                 self._counters["reloads"] += 1
             if entry.service is None:
-                entry.service = HierarchyQueryService(
-                    load_effective_index(entry.path, mmap=self._mmap)
-                )
+                index = load_any_index(entry.path, mmap=self._mmap)
+                if isinstance(index, CohesionIndex):
+                    entry.service = CohesionQueryService(index)
+                else:
+                    entry.service = HierarchyQueryService(index)
                 entry.signature = signature
                 self._counters["loads"] += 1
             else:
@@ -224,8 +240,12 @@ class IndexRegistry:
     def datasets(self) -> List[dict]:
         """One JSON-ready record per registered dataset, LRU order.
 
+        Every record carries a ``measures`` capability list so clients
+        discover which v2 measure segments a dataset answers for.
         Resident datasets also report their index shape; non-resident
-        ones are *not* loaded just to be described.
+        ones are *not* loaded just to be described - their measures
+        come from a cheap magic-plus-directory sniff of the file, and
+        an unreadable file simply omits the key.
         """
         with self._lock:
             out = []
@@ -242,7 +262,12 @@ class IndexRegistry:
                         nodes=index.num_nodes,
                         max_k=index.max_k,
                         mmap=index.is_mmap,
+                        measures=list(entry.service.measures),
                     )
+                else:
+                    sniffed = sniff_measures(entry.path)
+                    if sniffed is not None:
+                        record["measures"] = list(sniffed)
                 out.append(record)
             return out
 

@@ -12,16 +12,24 @@ pure (no I/O), so one router drives both executors:
 * :class:`repro.service.aserver.RouterDispatch` - asynchronous, against
   HTTP shard processes over keep-alive connections.
 
+Planning is schema-driven: each endpoint's
+:class:`~repro.service.schema.EndpointSpec` - the same table the
+handler layer validates against - names its routing kind (``batch-v``,
+``single-v``, ``u-or-pairs``, ``pairs``), and the router first runs the
+same :func:`~repro.service.schema.validate` the handlers run.  A
+request that fails validation forwards verbatim to shard 0, whose
+handler is the same code an unsharded server runs, so even *error*
+bodies come back canonical instead of being re-implemented (and
+drifting) here.  The v2 family plans exactly like v1: the measure path
+segment changes which hierarchy answers, never where vertices live,
+because every measure of a dataset is sharded with the same ring.
+
 **Byte parity.**  A sharded deployment must be observationally
 identical to one big index: single-vertex queries forward *verbatim* to
 the owning shard (whose handler renders the very bytes an unsharded
 server would); batch queries split per owning shard and merge answers
 back in request order, reassembling the exact payload shape
-:mod:`repro.service.handlers` defines.  Requests the router cannot
-plan - malformed parameters, unknown endpoints or datasets - forward
-verbatim to shard 0, whose handler is the same code an unsharded
-server runs, so even *error* bodies come back canonical instead of
-being re-implemented (and drifting) here.
+:mod:`repro.service.handlers` defines.
 
 Routing agrees with shard placement by construction: both sides hash
 :func:`~repro.index.shard.route_key` of the label/token, so ``v=05``
@@ -34,6 +42,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.index.shard import HashRing, route_key
+from repro.service.schema import ENDPOINTS, ApiError, EndpointSpec, validate
 
 #: Query-parameter multimap, as ``urllib.parse.parse_qs`` produces.
 Params = Dict[str, List[str]]
@@ -69,12 +78,17 @@ class ShardRouter:
         :meth:`handle_request` path; index ``s`` answers for shard
         ``s``.  Leave ``None`` when only :meth:`plan` is used (the
         async front end executes plans itself).
+    measures:
+        Optional dataset name -> served-measure list (from the shard
+        manifest), echoed in the router's local ``/datasets`` answer so
+        clients discover v2 capabilities without a shard round trip.
     """
 
     def __init__(
         self,
         datasets: Dict[str, HashRing],
         backends: Optional[List[Backend]] = None,
+        measures: Optional[Dict[str, Sequence[str]]] = None,
     ) -> None:
         if not datasets:
             raise ValueError("a router needs at least one dataset ring")
@@ -91,6 +105,7 @@ class ShardRouter:
             )
         self._rings = dict(datasets)
         self._backends = backends
+        self._measures = dict(measures) if measures else {}
         self.counters: Dict[str, int] = {
             "requests": 0, "local": 0, "forwards": 0, "fanouts": 0,
         }
@@ -126,41 +141,54 @@ class ShardRouter:
             subs = [(shard, params) for shard in range(self.num_shards)]
             return "fanout", subs, self._merge_healthz
         if path == "/datasets":
-            return "local", 200, {
-                "datasets": [
-                    {"name": name, "num_shards": self.num_shards}
-                    for name in sorted(self._rings)
-                ]
-            }
+            records = []
+            for name in sorted(self._rings):
+                record = {"name": name, "num_shards": self.num_shards}
+                if name in self._measures:
+                    record["measures"] = list(self._measures[name])
+                records.append(record)
+            return "local", 200, {"datasets": records}
         parts = path.strip("/").split("/")
-        if len(parts) != 3 or parts[0] != "v1":
+        if len(parts) == 3 and parts[0] == "v1":
+            dataset, endpoint = parts[1], parts[2]
+        elif (
+            len(parts) == 3
+            and parts[0] == "v2"
+            and parts[2] == "cohesion-strength"
+        ):
+            dataset, endpoint = parts[1], parts[2]
+        elif len(parts) == 4 and parts[0] == "v2":
+            # The measure segment never affects placement (all measures
+            # of a dataset share one ring); the shard handler validates
+            # it and answers the canonical error for a bad one.
+            dataset, endpoint = parts[1], parts[3]
+        else:
             return "forward", 0  # no route: canonical 404 from shard 0
-        _, dataset, endpoint = parts
         ring = self._rings.get(dataset)
         if ring is None:
             return "forward", 0  # unknown dataset: canonical 404
+        spec = ENDPOINTS.get(endpoint)
+        if spec is None or (parts[0] == "v1" and not spec.v1):
+            return "forward", 0  # unknown endpoint: canonical 404
         shard_of = lambda token: ring.shard_of(route_key(token))  # noqa: E731
-        if endpoint == "vcc-number":
-            return self._plan_vcc_number(params, shard_of)
-        if endpoint == "components-of":
-            return self._forward_by(params, "v", shard_of)
-        if endpoint in ("same-kvcc", "max-shared-level"):
-            if "pair" in params:
-                return self._plan_pairs(endpoint, params, shard_of)
-            return self._forward_by(params, "u", shard_of)
-        return "forward", 0  # unknown endpoint: canonical 404
-
-    def _forward_by(self, params: Params, key: str, shard_of):
-        """Forward verbatim to the shard owning the single ``key`` token."""
-        values = params.get(key, [])
-        if len(values) != 1:
-            return "forward", 0  # canonical 400 from the real handler
-        return "forward", shard_of(values[0])
-
-    def _plan_vcc_number(self, params: Params, shard_of):
-        values = params.get("v", [])
-        if not values:
+        try:
+            # The very validation the shard handler will run: anything
+            # it rejects forwards to shard 0 for the canonical 400.
+            decoded = validate(spec, params)
+        except ApiError:
             return "forward", 0
+        if spec.route == "batch-v":
+            return self._plan_batch_v(decoded, params, shard_of)
+        if spec.route == "single-v":
+            return "forward", shard_of(decoded["v_token"])
+        # "u-or-pairs" and "pairs": either a pair batch or a scalar u/v.
+        if "pairs" in decoded:
+            return self._plan_pairs(spec, decoded, params, shard_of)
+        return "forward", shard_of(decoded["u_token"])
+
+    def _plan_batch_v(self, decoded, params: Params, shard_of):
+        """Group a repeated-``v`` batch by owning shard and merge."""
+        values = decoded["v_tokens"]
         groups = _grouped(values, shard_of)
         if len(groups) == 1:
             return "forward", next(iter(groups))
@@ -187,30 +215,20 @@ class ShardRouter:
 
         return "fanout", subs, merge
 
-    def _plan_pairs(self, endpoint: str, params: Params, shard_of):
-        """Batch ``pair=u:v`` fan-out for same-kvcc / max-shared-level.
+    def _plan_pairs(
+        self, spec: EndpointSpec, decoded, params: Params, shard_of
+    ):
+        """Batch ``pair=u:v`` fan-out for the pair endpoints.
 
         Pairs route by ``u`` - the owning shard replicates every
         component containing ``u``, so membership tests against any
-        ``v`` are exact there.
+        ``v`` are exact there.  The merge reassembles the exact batch
+        shape each endpoint defines (``same-kvcc`` echoes ``k``,
+        ``cohesion-strength`` normalizes single-pair scalar
+        sub-answers).
         """
-        if endpoint == "same-kvcc":
-            k_values = params.get("k", [])
-            if len(k_values) != 1:
-                return "forward", 0
-            try:
-                k = int(k_values[0])
-            except ValueError:
-                return "forward", 0
-            if k < 1:
-                return "forward", 0
-        pairs = params.get("pair", [])
-        firsts = []
-        for token in pairs:
-            u, sep, v = token.partition(":")
-            if not sep or not u or not v:
-                return "forward", 0  # canonical 400
-            firsts.append(u)
+        pairs = decoded["pair_tokens"]
+        firsts = [token.partition(":")[0] for token in pairs]
         groups = _grouped(firsts, shard_of)
         if len(groups) == 1:
             return "forward", next(iter(groups))
@@ -227,10 +245,17 @@ class ShardRouter:
             ):
                 if status != 200:
                     return status, payload
-                for position, answer in zip(positions, payload["results"]):
+                answers = payload.get("results")
+                if answers is None:
+                    # A single-pair cohesion-strength sub-request
+                    # answers in scalar shape.
+                    answers = [payload["strength"]]
+                for position, answer in zip(positions, answers):
                     results[position] = answer
-            if endpoint == "same-kvcc":
-                return 200, {"k": k, "results": results}
+            if spec.name == "same-kvcc":
+                return 200, {"k": decoded["k"], "results": results}
+            if spec.name == "cohesion-strength":
+                return 200, {"pairs": pairs, "results": results}
             return 200, {"results": results}
 
         return "fanout", subs, merge

@@ -77,7 +77,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "unhandled error serving %s", self.path
             )
             status = 500
-            body = render_json({"error": "internal server error"})
+            body = render_json(
+                {"error": "internal server error", "code": "internal_error"}
+            )
         self._respond(status, body)
 
     def do_POST(self) -> None:
@@ -91,7 +93,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._respond(
                     400,
                     render_json(
-                        {"error": "missing or oversized request body"}
+                        {
+                            "error": "missing or oversized request body",
+                            "code": "bad_body",
+                        }
                     ),
                 )
                 return
@@ -110,7 +115,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "unhandled error serving POST %s", self.path
             )
             status = 500
-            body = render_json({"error": "internal server error"})
+            body = render_json(
+                {"error": "internal server error", "code": "internal_error"}
+            )
         self._respond(status, body)
 
     def _respond(self, status: int, body: bytes) -> None:

@@ -408,3 +408,107 @@ class TestServeBuildMissing:
                 [("gone", str(tmp_path / "gone.kvccidx"))],
                 build_missing=False,
             )
+
+
+class TestCohesionCLI:
+    @pytest.fixture
+    def cohesion_file(self, graph_file, tmp_path, capsys):
+        path = str(tmp_path / "g.kvcccoh")
+        assert main(
+            ["build-cohesion", graph_file, "--no-cache", "--out", path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        assert "kvcc:" in out and "kecc:" in out and "kcore:" in out
+        return path
+
+    def test_query_measure_flag(self, cohesion_file, capsys):
+        assert main(
+            ["query", "vcc-number", cohesion_file, "-v", "1",
+             "--measure", "kecc"]
+        ) == 0
+        assert "vcc-number(1) [kecc] =" in capsys.readouterr().out
+
+    def test_vcc_number_batch(self, cohesion_file, capsys):
+        assert main(
+            ["query", "vcc-number", cohesion_file, "-v", "1", "-v", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vcc-number(1) =" in out and "vcc-number(2) =" in out
+
+    def test_pair_batch_and_deprecated_shim(self, cohesion_file, capsys):
+        assert main(
+            ["query", "same-kvcc", cohesion_file, "--pair", "1:2",
+             "--pair", "1:13", "-k", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "same-kvcc(1, 2, k=2)" in captured.out
+        assert "same-kvcc(1, 13, k=2)" in captured.out
+        assert main(
+            ["query", "same-kvcc", cohesion_file, "-u", "1", "-v", "2",
+             "-k", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "same-kvcc(1, 2, k=2)" in captured.out
+
+    def test_new_subcommands(self, cohesion_file, capsys):
+        assert main(
+            ["query", "top-communities", cohesion_file, "-v", "1",
+             "-r", "2"]
+        ) == 0
+        assert "strongest communities containing 1" in (
+            capsys.readouterr().out
+        )
+        assert main(
+            ["query", "critical-vertices", cohesion_file, "-v", "1",
+             "-k", "1"]
+        ) == 0
+        assert "critical vertex(es) of 1" in capsys.readouterr().out
+        assert main(
+            ["query", "cohesion-strength", cohesion_file, "--pair", "1:2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cohesion-strength(1, 2):" in out
+        assert "kvcc=" in out and "kecc=" in out and "kcore=" in out
+
+    def test_measure_not_served_exits_2(self, graph_file, tmp_path,
+                                        capsys):
+        index_file = str(tmp_path / "g.kvccidx")
+        assert main(
+            ["hierarchy", graph_file, "--save-index", index_file]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", "vcc-number", index_file, "-v", "1",
+             "--measure", "kcore"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "does not serve measure 'kcore'" in err
+
+    def test_pair_errors_exit_2(self, cohesion_file, capsys):
+        assert main(
+            ["query", "cohesion-strength", cohesion_file]
+        ) == 2
+        assert "--pair" in capsys.readouterr().err
+        assert main(
+            ["query", "cohesion-strength", cohesion_file, "--pair", "1-2"]
+        ) == 2
+        assert "u:v" in capsys.readouterr().err
+
+    def test_serve_spec_accepts_cohesion_suffix(self):
+        from repro.cli import _spec_short_name
+
+        assert _spec_short_name("/tmp/web.kvcccoh") == "web"
+
+    def test_is_index_file_accepts_both_magics(self, cohesion_file,
+                                               graph_file, tmp_path):
+        from repro.cli import _is_index_file
+
+        index_file = str(tmp_path / "plain.kvccidx")
+        assert main(
+            ["hierarchy", graph_file, "--save-index", index_file]
+        ) == 0
+        assert _is_index_file(cohesion_file)
+        assert _is_index_file(index_file)
+        assert not _is_index_file(graph_file)

@@ -375,7 +375,7 @@ class TestHandlers:
         not propagate into the transport and drop the connection."""
         from repro.service import handlers
 
-        def boom(service, params):
+        def boom(service, params, measure="kvcc"):
             raise TypeError("endpoint bug")
 
         monkeypatch.setitem(handlers.QUERY_ENDPOINTS, "vcc-number", boom)
@@ -383,7 +383,10 @@ class TestHandlers:
             registry, "/v1/ring/vcc-number", {"v": ["0"]}
         )
         assert status == 500
-        assert payload == {"error": "internal server error"}
+        assert payload == {
+            "error": "internal server error",
+            "code": "internal_error",
+        }
 
     def test_stat_error_keeps_serving_resident_index(self, tmp_path):
         """Regression: the index file vanishing must not 503 a dataset
@@ -505,7 +508,7 @@ class TestHttpServer:
         and keep working for subsequent requests."""
         from repro.service import handlers
 
-        def boom(service, params):
+        def boom(service, params, measure="kvcc"):
             raise TypeError("endpoint bug")
 
         monkeypatch.setitem(handlers.QUERY_ENDPOINTS, "same-kvcc", boom)
@@ -516,7 +519,8 @@ class TestHttpServer:
             response = connection.getresponse()
             assert response.status == 500
             assert json.loads(response.read()) == {
-                "error": "internal server error"
+                "error": "internal server error",
+                "code": "internal_error",
             }
             # The very same socket serves the next request fine.
             connection.request("GET", "/v1/ring/vcc-number?v=0")

@@ -454,7 +454,8 @@ class TestAsyncServer:
                 response = connection.getresponse()
                 assert response.status == 500
                 assert json.loads(response.read()) == {
-                    "error": "internal server error"
+                    "error": "internal server error",
+                    "code": "internal_error",
                 }
                 connection.request("GET", "/v1/ring/vcc-number?v=0")
                 response = connection.getresponse()
