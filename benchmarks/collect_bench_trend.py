@@ -34,6 +34,7 @@ BENCHES = [
     ("bench_shard_serve.py", ["--smoke"], []),
     ("bench_incremental.py", ["--smoke"], []),
     ("bench_ingest.py", ["--smoke"], []),
+    ("bench_outofcore.py", ["--smoke"], []),
 ]
 
 

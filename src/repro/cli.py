@@ -134,14 +134,24 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         "--refresh-cache", action="store_true",
         help="rebuild this dataset's cache entry even if present",
     )
+    parser.add_argument(
+        "--mem-budget", metavar="SIZE", default=None,
+        help="hard memory budget for the out-of-core data path, e.g. "
+        "256M or 2G (default: $REPRO_MEM_BUDGET, else unbounded). "
+        "Oversized edge lists external-sort through temp spill runs at "
+        "ingest, and 'kvcc' enumerates component-at-a-time over the "
+        "mmap CSR instead of faulting the whole graph resident",
+    )
 
 
 def _load_base(args: argparse.Namespace):
     """Resolve the dataset token and return a mine-ready CSR base.
 
     A cache hit is an O(header) mmap load; a miss parses or generates
-    once and materializes the binary entry for next time.  Exits with
-    an argparse-style error on unknown names / missing files.
+    once and materializes the binary entry for next time (under
+    ``--mem-budget``, file sources external-sort straight into the
+    entry).  Exits with an argparse-style error on unknown names /
+    missing files / malformed budgets.
     """
     from repro.data import load_graph_csr
 
@@ -151,6 +161,7 @@ def _load_base(args: argparse.Namespace):
             cache_dir=args.cache_dir,
             refresh=args.refresh_cache,
             cache=not args.no_cache,
+            mem_budget=args.mem_budget,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -190,8 +201,21 @@ def cmd_kvcc(args: argparse.Namespace) -> int:
     options = dataclasses.replace(
         VARIANTS[args.variant], backend=args.backend, workers=args.workers
     )
+    from repro.data.external import resolve_mem_budget
+
+    budget = resolve_mem_budget(args.mem_budget)
     graph = None
-    if options.backend == "csr":
+    if options.backend == "csr" and budget is not None:
+        # Budgeted path: enumerate component-at-a-time so only one
+        # component's CSR rows are ever resident.
+        from repro.core.outofcore import enumerate_kvccs_outofcore
+
+        leaves = enumerate_kvccs_outofcore(
+            base, args.k, options, stats,
+            materialize=False, mem_budget=budget,
+        )
+        components = [[base.label_of(i) for i in leaf] for leaf in leaves]
+    elif options.backend == "csr":
         # The cached hot path: mmap CSR in, member-id lists out - no
         # dict Graph is constructed anywhere in this branch.
         leaves = enumerate_kvccs_csr(
@@ -208,6 +232,8 @@ def cmd_kvcc(args: argparse.Namespace) -> int:
         "" if options.engine == "serial"
         else f", {stats.parallel_tasks} tasks on {args.workers or 'auto'} workers"
     )
+    if options.backend == "csr" and budget is not None:
+        engine_note += ", component-at-a-time"
     print(
         f"{len(components)} {args.k}-VCC(s) in {stats.elapsed_seconds:.3f}s "
         f"({stats.flow_tests} local connectivity tests, "

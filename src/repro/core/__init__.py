@@ -16,10 +16,17 @@ Public entry points
     Execution engines draining the KVCC-ENUM worklist: the serial
     reference driver and the multiprocessing fan-out
     (``KVCCOptions(workers=N)``).
+:mod:`~repro.core.outofcore`
+    Component-at-a-time enumeration over an mmap CSR under a memory
+    budget (``enumerate_kvccs_outofcore``).
 """
 
 from repro.core.options import KVCCOptions
-from repro.core.stats import RunStats
+from repro.core.outofcore import (
+    enumerate_kvccs_outofcore,
+    streaming_components,
+)
+from repro.core.stats import RssTracker, RunStats, max_rss_bytes
 from repro.core.engine import (
     ProcessPoolEngine,
     SerialEngine,
@@ -47,11 +54,15 @@ from repro.core.variants import (
 
 __all__ = [
     "KVCCOptions",
+    "RssTracker",
     "RunStats",
     "SerialEngine",
     "ProcessPoolEngine",
     "create_engine",
     "enumerate_kvccs",
+    "enumerate_kvccs_outofcore",
+    "max_rss_bytes",
+    "streaming_components",
     "vccs_containing",
     "overlap_partition",
     "global_cut",

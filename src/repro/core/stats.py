@@ -14,9 +14,15 @@ Effectiveness of Sweep Rules").
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
 
 #: Attribution labels for why a phase-1 vertex was skipped.
 PRUNE_NS1 = "ns1"  # neighbor sweep rule 1 (strong side-vertex)
@@ -58,6 +64,14 @@ class RunStats:
     #: Worklist items executed by pool workers (0 under the serial
     #: engine; the parallel engine records one per dispatched task).
     parallel_tasks: int = 0
+    #: High-water RSS growth over the run, in bytes: the
+    #: ``ru_maxrss`` delta an :class:`RssTracker` observed.  Unlike the
+    #: tracemalloc peak the memory experiment also records, this sees
+    #: mmap page faults and C-level allocations.  0 when the run fit
+    #: under the process's previous high-water mark or the platform has
+    #: no ``resource`` module.  An execution artifact like
+    #: :attr:`elapsed_seconds` - never part of the equivalence counters.
+    peak_rss_bytes: int = 0
     elapsed_seconds: float = 0.0
     #: Wall-clock seconds per pipeline stage (``peel`` / ``certificate``
     #: / ``flow``), accumulated at the call sites of the corresponding
@@ -149,6 +163,7 @@ class RunStats:
         self.peak_resident_vertices = max(
             self.peak_resident_vertices, other.peak_resident_vertices
         )
+        self.peak_rss_bytes = max(self.peak_rss_bytes, other.peak_rss_bytes)
         self.parallel_tasks += other.parallel_tasks
         self.elapsed_seconds += other.elapsed_seconds
         for stage, seconds in other.stage_seconds.items():
@@ -168,3 +183,43 @@ class Timer:
 
     def __exit__(self, *exc) -> None:
         self._stats.elapsed_seconds += time.perf_counter() - self._start
+
+
+def max_rss_bytes() -> int:
+    """Process-lifetime peak resident set size, in bytes (0 if unknown).
+
+    ``getrusage`` reports ``ru_maxrss`` in kilobytes on Linux and bytes
+    on macOS; normalized here so callers never see the platform quirk.
+    """
+    if _resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-dependent
+        return int(peak)
+    return int(peak) * 1024
+
+
+class RssTracker:
+    """Context manager recording RSS growth into ``stats.peak_rss_bytes``.
+
+    Measures the ``ru_maxrss`` delta across the block.  Because
+    ``ru_maxrss`` is a lifetime high-water mark, the delta is 0 when the
+    block stayed under a peak the process already reached - precise
+    gating therefore measures in a fresh subprocess (what
+    ``benchmarks/bench_outofcore.py`` does); in-process the delta is
+    still a faithful *lower bound* on the block's footprint.
+    """
+
+    def __init__(self, stats: RunStats) -> None:
+        self._stats = stats
+        self._base = 0
+
+    def __enter__(self) -> "RssTracker":
+        self._base = max_rss_bytes()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        delta = max(0, max_rss_bytes() - self._base)
+        self._stats.peak_rss_bytes = max(
+            self._stats.peak_rss_bytes, delta
+        )

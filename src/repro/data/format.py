@@ -298,7 +298,11 @@ def _load_mmap(path) -> CSRGraph:
         interner = LazyLabelInterner(view[offset : offset + labels_len], n)
     # The views (and the lazy label blob) hold the only references to
     # the mapping; reference counting closes it when the last one dies.
-    return CSRGraph(n, indptr, indices, interner)
+    csr = CSRGraph(n, indptr, indices, interner)
+    # Hand the out-of-core driver enough to madvise consumed adjacency
+    # ranges back to the kernel between components (CSRGraph.release_rows).
+    csr._mm = (mapped, body_start + 4 * (n + 1))
+    return csr
 
 
 def _check_indptr(indptr, n: int, nnz: int, path) -> None:

@@ -84,35 +84,30 @@ def normalize_mixed_labels(labels: List) -> Tuple[List, bool]:
     ], True
 
 
-def read_edge_list_csr(
-    path: PathLike, comment: str = "#", directed: bool = False
-) -> Tuple[CSRGraph, VertexInterner]:
-    """Stream an edge-list file straight into a :class:`CSRGraph`.
+def iter_edge_labels(
+    path: PathLike, comment: str = "#", chunk_hint: int = CHUNK_HINT
+):
+    """Yield each edge of a text edge list as a parsed label pair.
 
-    The boundary constructor for large inputs: one pass over the text,
-    labels interned to dense ids as they stream by, adjacency assembled
-    by counting sort.  Returns ``(csr, interner)`` - the same contract
-    as :meth:`CSRGraph.from_edges`.
+    The single tokenizer both ingest paths share: the in-memory reader
+    (:func:`read_edge_list_csr`) and the external-sort spill path
+    (:mod:`repro.data.external`) consume exactly this stream, so their
+    dialect handling - comment/blank skipping, one-per-file CSV sniff,
+    header-row skip, int-or-str token parse, self-loop drop - cannot
+    drift apart.  Yields ``(u, v)`` with labels already int-parsed
+    where possible; self loops are dropped here, duplicates are not
+    (deduplication is a CSR-assembly concern).
 
-    Parameters
-    ----------
-    comment:
-        Lines starting with this prefix are ignored.
-    directed:
-        Accepted for documentation purposes; each arc becomes an
-        undirected edge (how the paper treats the directed SNAP
-        web/citation graphs).
+    ``chunk_hint`` bounds each ``readlines`` batch in text bytes; the
+    boxed line strings cost several times that, so budgeted callers
+    (:mod:`repro.data.external`) shrink it below the default.  The hint
+    affects buffering only, never parse semantics.
     """
-    del directed  # symmetrization is implicit for an undirected graph
-    interner = VertexInterner()
-    intern = interner.intern
-    srcs = array("l")
-    dsts = array("l")
     delimiter: Optional[str] = None
     sniffed = False
     with open_text(path) as handle:
         while True:
-            chunk = handle.readlines(CHUNK_HINT)
+            chunk = handle.readlines(chunk_hint)
             if not chunk:
                 break
             for line in chunk:
@@ -149,8 +144,39 @@ def read_edge_list_csr(
                     pass
                 if u == v:
                     continue
-                srcs.append(intern(u))
-                dsts.append(intern(v))
+                yield u, v
+
+
+def read_edge_list_csr(
+    path: PathLike, comment: str = "#", directed: bool = False
+) -> Tuple[CSRGraph, VertexInterner]:
+    """Stream an edge-list file straight into a :class:`CSRGraph`.
+
+    The boundary constructor for large inputs: one pass over the text,
+    labels interned to dense ids as they stream by, adjacency assembled
+    by counting sort.  Returns ``(csr, interner)`` - the same contract
+    as :meth:`CSRGraph.from_edges`.  For inputs larger than RAM, the
+    external-sort path (:func:`repro.data.external.ingest_edge_list_kvccg`
+    with a memory budget) produces a byte-identical ``KVCCG`` file
+    without ever holding these two endpoint columns in memory.
+
+    Parameters
+    ----------
+    comment:
+        Lines starting with this prefix are ignored.
+    directed:
+        Accepted for documentation purposes; each arc becomes an
+        undirected edge (how the paper treats the directed SNAP
+        web/citation graphs).
+    """
+    del directed  # symmetrization is implicit for an undirected graph
+    interner = VertexInterner()
+    intern = interner.intern
+    srcs = array("l")
+    dsts = array("l")
+    for u, v in iter_edge_labels(path, comment):
+        srcs.append(intern(u))
+        dsts.append(intern(v))
     labels, rewritten = normalize_mixed_labels(interner.labels)
     if rewritten:
         interner = VertexInterner(labels)

@@ -55,6 +55,10 @@ PathLike = Union[str, Path]
 #: Environment override for the cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Fixed block size for streaming content hashes: memory spent hashing
+#: a file is this constant, never proportional to the file.
+HASH_CHUNK_BYTES = 1 << 20
+
 _REGISTRY_SALT: Optional[str] = None
 
 
@@ -86,10 +90,17 @@ def _registry_salt() -> str:
 
 
 def _hash_file(path: Path) -> str:
-    """sha256 of a file's bytes, streamed."""
+    """sha256 of a file's bytes, streamed in fixed-size chunks.
+
+    Chunked reads keep the hash pass O(:data:`HASH_CHUNK_BYTES`)
+    resident no matter how large the source file is - the chunking is
+    invisible in the digest, which equals ``sha256(whole_file_bytes)``
+    exactly.  The ``(mtime_ns, size)`` sidecar in
+    :func:`_file_content_hash` memoizes the result either way.
+    """
     digest = hashlib.sha256()
     with open(path, "rb") as handle:
-        for block in iter(lambda: handle.read(1 << 20), b""):
+        for block in iter(lambda: handle.read(HASH_CHUNK_BYTES), b""):
             digest.update(block)
     return digest.hexdigest()
 
@@ -191,6 +202,7 @@ class Dataset:
         mmap: bool = True,
         refresh: bool = False,
         cache: bool = True,
+        mem_budget: Union[int, str, None] = None,
     ) -> CSRGraph:
         """The dataset as a :class:`CSRGraph`, via the on-disk cache.
 
@@ -202,6 +214,15 @@ class Dataset:
         an old format version) is rebuilt rather than surfaced as an
         error; an unwritable cache directory silently degrades to the
         uncached build.
+
+        ``mem_budget`` (bytes, a ``"256M"``-style string, or the
+        ``$REPRO_MEM_BUDGET`` default) caps ingest memory for file
+        sources on a cache miss: the edge list external-sorts straight
+        into the cache entry (:mod:`repro.data.external`) instead of
+        building in RAM first.  The entry's bytes are identical either
+        way, so hit-vs-miss and the fingerprint are unaffected.  With
+        ``cache=False`` there is no on-disk destination, so the budget
+        is ignored and the in-memory build runs.
 
         Cold-miss cost for files is one hash pass plus one parse pass
         over the source: the content hash *decides* hit vs miss, so it
@@ -215,6 +236,13 @@ class Dataset:
         except OSError as exc:
             raise ValueError(f"cannot read dataset {self.spec!r}: {exc}")
         if refresh or not path.exists():
+            from repro.data.external import resolve_mem_budget
+
+            budget = resolve_mem_budget(mem_budget)
+            if budget is not None and self.kind == "file":
+                loaded = self._build_external(path, budget, mmap)
+                if loaded is not None:
+                    return loaded
             csr = self.build_csr()
             try:
                 path.parent.mkdir(parents=True, exist_ok=True)
@@ -235,7 +263,39 @@ class Dataset:
             return CSRGraph.load(path, mmap=mmap)
         except ValueError:
             # Bit rot or a format change mid-flight: rebuild in place.
-            return self.load(cache_dir, mmap=mmap, refresh=True)
+            return self.load(
+                cache_dir, mmap=mmap, refresh=True, mem_budget=mem_budget
+            )
+
+    def _build_external(
+        self, path: Path, budget: int, mmap: bool
+    ) -> Optional[CSRGraph]:
+        """Materialize the cache entry by external-sort ingest.
+
+        Streams the edge list through :func:`ingest_edge_list_kvccg`
+        straight into a tmp file beside the final entry (same atomic
+        rename as the in-memory path).  Returns ``None`` when the cache
+        directory is unwritable - the caller then falls back to the
+        unbudgeted in-memory build, matching the cache's general
+        degrade-silently contract.
+        """
+        from repro.data.external import ingest_edge_list_kvccg
+
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".kvccg.tmp"
+            )
+            os.close(fd)
+            try:
+                ingest_edge_list_kvccg(self.source, tmp, mem_budget=budget)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.remove(tmp)
+        except OSError:
+            return None
+        return CSRGraph.load(path, mmap=mmap)
 
 
 def resolve_dataset(token: str) -> Dataset:
@@ -273,6 +333,7 @@ def load_graph_csr(
     mmap: bool = True,
     refresh: bool = False,
     cache: bool = True,
+    mem_budget: Union[int, str, None] = None,
 ) -> CSRGraph:
     """Resolve ``spec`` and load it as a (cached, mmap-backed) CSR graph.
 
@@ -280,9 +341,17 @@ def load_graph_csr(
 
         base = load_graph_csr("name:youtube")
         base = load_graph_csr("web-Stanford.txt.gz")
+        base = load_graph_csr("lj.txt.gz", mem_budget="256M")
+
+    ``mem_budget`` caps cold-start ingest memory for file sources (see
+    :meth:`Dataset.load`); ``$REPRO_MEM_BUDGET`` supplies the default.
     """
     return resolve_dataset(spec).load(
-        cache_dir=cache_dir, mmap=mmap, refresh=refresh, cache=cache
+        cache_dir=cache_dir,
+        mmap=mmap,
+        refresh=refresh,
+        cache=cache,
+        mem_budget=mem_budget,
     )
 
 

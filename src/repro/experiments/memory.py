@@ -1,9 +1,14 @@
 """Memory usage of VCCE*: Figure 12 (Section 6.2).
 
-Two measurements per (dataset, k):
+Three measurements per (dataset, k):
 
-* ``tracemalloc`` peak - real bytes allocated by the Python process
-  during the run (the honest analog of the paper's resident-set curve);
+* ``tracemalloc`` peak - bytes allocated *through the Python
+  allocator* during the run.  tracemalloc cannot see mmap page faults
+  or C-extension ``malloc`` traffic, so it undercounts real residency;
+* ``ru_maxrss`` delta - the OS-observed resident-set growth over the
+  run (:class:`~repro.core.stats.RssTracker`), which does include mmap
+  pages and C-level allocations.  A lifetime high-water mark, so later
+  (smaller) runs in the same process may record 0;
 * the machine-independent proxy ``peak_resident_vertices`` - the largest
   total vertex count simultaneously alive on the partition work stack,
   which isolates the algorithmic memory behavior from CPython's
@@ -22,7 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.kvcc import enumerate_kvccs
-from repro.core.stats import RunStats
+from repro.core.stats import RssTracker, RunStats
 from repro.core.variants import VARIANTS
 from repro.datasets.registry import (
     EFFICIENCY_DATASETS,
@@ -40,6 +45,9 @@ class MemoryRow:
     k: int
     peak_bytes: int
     peak_resident_vertices: int
+    #: ``ru_maxrss`` growth over the run in bytes (0 when the run fit
+    #: under the process's prior high-water mark).
+    rss_delta_bytes: int = 0
 
 
 def run_memory(
@@ -56,7 +64,8 @@ def run_memory(
             stats = RunStats(k=k)
             tracemalloc.start()
             try:
-                enumerate_kvccs(graph, k, VARIANTS["VCCE*"], stats)
+                with RssTracker(stats):
+                    enumerate_kvccs(graph, k, VARIANTS["VCCE*"], stats)
                 _, peak = tracemalloc.get_traced_memory()
             finally:
                 tracemalloc.stop()
@@ -66,6 +75,7 @@ def run_memory(
                     k=k,
                     peak_bytes=peak,
                     peak_resident_vertices=stats.peak_resident_vertices,
+                    rss_delta_bytes=stats.peak_rss_bytes,
                 )
             )
     return rows
@@ -78,12 +88,19 @@ def format_memory(rows: List[MemoryRow]) -> str:
             r.dataset,
             r.k,
             f"{r.peak_bytes / 2**20:.1f} MB",
+            f"{r.rss_delta_bytes / 2**20:.1f} MB",
             r.peak_resident_vertices,
         )
         for r in sorted(rows, key=lambda x: (x.dataset, x.k))
     ]
     return render_table(
-        ["dataset", "k", "tracemalloc peak", "peak resident vertices"],
+        [
+            "dataset",
+            "k",
+            "tracemalloc peak",
+            "rss delta",
+            "peak resident vertices",
+        ],
         table_rows,
     )
 

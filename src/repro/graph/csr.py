@@ -40,6 +40,7 @@ algorithm layers rely on: ``vertices()``, ``neighbors(v)``, ``degree(v)``,
 
 from __future__ import annotations
 
+import mmap as mmap_module
 from array import array
 from bisect import bisect_left
 from typing import (
@@ -136,7 +137,10 @@ class CSRGraph:
     [0, 2]
     """
 
-    __slots__ = ("n", "indptr", "indices", "_rows", "_np", "interner")
+    __slots__ = (
+        "n", "indptr", "indices", "_rows", "_rows_partial", "_np",
+        "interner", "_mm",
+    )
 
     def __init__(
         self,
@@ -152,11 +156,19 @@ class CSRGraph:
         self.indptr = indptr
         self.indices = indices
         self._rows: Optional[List[List[int]]] = None
+        #: True when ``_rows`` holds only the vertices a
+        #: :meth:`prepare_rows` call asked for (out-of-core mode);
+        #: un-prepared entries are ``None`` and must not be touched.
+        self._rows_partial = False
         #: Cached zero-copy numpy views of indptr/indices, populated by
         #: the numpy kernel on first use (stays None under pure python).
         self._np = None
         #: Optional labels for the ids; ``None`` means ids are the labels.
         self.interner = interner
+        #: ``(mmap, indices_byte_offset)`` when backed by a file mapping
+        #: (set by the KVCCG loader); lets :meth:`release_rows` hand
+        #: consumed adjacency pages back to the kernel via madvise.
+        self._mm = None
 
     @property
     def rows(self) -> List[List[int]]:
@@ -168,6 +180,12 @@ class CSRGraph:
         lazily keeps ``load(path, mmap=True)`` at O(header): a process
         that only serves a few queries - or ships the base to workers -
         never pays the O(n + m) boxing pass.
+
+        In out-of-core mode (:meth:`prepare_rows`), the returned list is
+        *partial*: only prepared entries are lists, the rest ``None``.
+        Every kernel walk indexes ``rows`` for active-mask vertices
+        only, so partial mode is invisible as long as callers prepare a
+        superset of the vertices they activate.
         """
         rows = self._rows
         if rows is None:
@@ -178,6 +196,88 @@ class CSRGraph:
             ]
             self._rows = rows
         return rows
+
+    def prepare_rows(self, vertices: Iterable[int]) -> None:
+        """Materialize neighbor lists for ``vertices`` only.
+
+        The out-of-core driver's entry hook: boxes just one component's
+        rows (faulting in just those CSR pages when mmap-backed) instead
+        of the whole graph.  A no-op for vertices already prepared and
+        for graphs whose full row cache exists.
+        """
+        rows = self._rows
+        if rows is None:
+            rows = [None] * self.n
+            self._rows = rows
+            self._rows_partial = True
+        elif not self._rows_partial:
+            return
+        indptr, indices = self.indptr, self.indices
+        for v in vertices:
+            if rows[v] is None:
+                rows[v] = list(indices[indptr[v] : indptr[v + 1]])
+
+    def release_rows(self, vertices: Optional[Iterable[int]] = None) -> None:
+        """Drop boxed rows (all, or just ``vertices``) and advise the OS.
+
+        Only acts on a *partial* cache - a fully materialized cache is a
+        deliberate residency decision this must not corrupt.  For
+        mmap-backed graphs the released vertices' adjacency byte ranges
+        are coalesced and handed back via ``madvise(MADV_DONTNEED)`` so
+        peak RSS actually drops between components, not just Python heap.
+        """
+        rows = self._rows
+        if rows is None or not self._rows_partial:
+            self._advise_dontneed(vertices)
+            return
+        if vertices is None:
+            self._rows = None
+            self._rows_partial = False
+        else:
+            for v in vertices:
+                rows[v] = None
+        self._advise_dontneed(vertices)
+
+    def _advise_dontneed(self, vertices: Optional[Iterable[int]]) -> None:
+        """madvise released adjacency ranges out of the resident set."""
+        info = self._mm
+        if info is None:
+            return
+        mapped, base = info
+        if not hasattr(mapped, "madvise") or not hasattr(
+            mmap_module, "MADV_DONTNEED"
+        ):  # pragma: no cover - platform-dependent
+            return
+        page = mmap_module.PAGESIZE
+        indptr = self.indptr
+        if vertices is None:
+            spans = [(indptr[0], indptr[self.n])] if self.n else []
+        else:
+            # Coalesce consecutive index ranges so one madvise covers a
+            # whole component's contiguous stripe.
+            spans = []
+            for v in sorted(vertices):
+                start, end = indptr[v], indptr[v + 1]
+                if start == end:
+                    continue
+                if spans and start <= spans[-1][1]:
+                    spans[-1] = (spans[-1][0], max(spans[-1][1], end))
+                else:
+                    spans.append((start, end))
+        limit = len(mapped)
+        for start, end in spans:
+            # Page-align inward: never discard a page shared with a
+            # neighboring, still-needed row.
+            lo = base + 4 * start
+            hi = base + 4 * end
+            lo = ((lo + page - 1) // page) * page
+            hi = (hi // page) * page
+            if hi <= lo or lo >= limit:
+                continue
+            try:
+                mapped.madvise(mmap_module.MADV_DONTNEED, lo, min(hi, limit) - lo)
+            except (ValueError, OSError):  # pragma: no cover - best effort
+                return
 
     # ------------------------------------------------------------------
     # Construction
